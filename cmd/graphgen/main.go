@@ -1,0 +1,122 @@
+// Command graphgen generates the synthetic evaluation datasets and
+// saves them as graph files, or prints statistics of an existing file.
+//
+// Usage:
+//
+//	graphgen -type powerlaw -scale small -seed 42 -out twitter.g
+//	graphgen -type random   -scale small -seed 42 -out random.g
+//	graphgen -info twitter.g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subtrav"
+	"subtrav/internal/graph"
+	"subtrav/internal/graphio"
+	"subtrav/internal/partition"
+)
+
+func main() {
+	var (
+		typ        = flag.String("type", "powerlaw", "graph type: powerlaw, random, image")
+		scale      = flag.String("scale", "small", "scale: tiny, small, medium, large, paper")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		out        = flag.String("out", "", "output file (required unless -info)")
+		info       = flag.String("info", "", "print statistics of an existing graph file and exit")
+		partitions = flag.Int("partitions", 0, "compute this many balanced partitions and attach labels")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		g, err := graphio.ReadFile(*info)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(*info, g)
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	var sc subtrav.Scale
+	switch *scale {
+	case "tiny":
+		sc = subtrav.ScaleTiny
+	case "small":
+		sc = subtrav.ScaleSmall
+	case "medium":
+		sc = subtrav.ScaleMedium
+	case "large":
+		sc = subtrav.ScaleLarge
+	case "paper":
+		sc = subtrav.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *typ {
+	case "powerlaw":
+		g, err = subtrav.TwitterLike(sc, *seed)
+	case "random":
+		g, err = subtrav.RandomGraph(sc, *seed)
+	case "image":
+		// The image corpus carries person labels and held-out queries
+		// beyond the graph, so it uses its own file format.
+		corpus, err := subtrav.ImageCorpus(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graphio.WriteCorpusFile(*out, corpus); err != nil {
+			fatal(err)
+		}
+		persons := int32(0)
+		for _, p := range corpus.Person {
+			if p+1 > persons {
+				persons = p + 1
+			}
+		}
+		fmt.Printf("corpus: %d persons, %d held-out queries\n", persons, len(corpus.Queries))
+		printStats(*out, corpus.Graph)
+		return
+	default:
+		err = fmt.Errorf("unknown type %q", *typ)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *partitions > 0 {
+		res, err := partition.Compute(g, partition.Config{NumPartitions: *partitions, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		g = partition.Apply(g, res.Labels)
+		fmt.Printf("partitioned into %d parts, edge cut %.1f%%\n", *partitions, 100*res.CutFraction)
+	}
+	if err := graphio.WriteFile(*out, g); err != nil {
+		fatal(err)
+	}
+	printStats(*out, g)
+}
+
+func printStats(name string, g *graph.Graph) {
+	st := graph.ComputeStats(g)
+	fmt.Printf("%s: %s graph, %d vertices, %d edges\n", name, g.Kind(), st.NumVertices, st.NumEdges)
+	fmt.Printf("  degree: min %d, mean %.1f, max %d, gini %.3f\n",
+		st.MinDegree, st.MeanDegree, st.MaxDegree, st.Gini)
+	if g.NumPartitions() > 0 {
+		fmt.Printf("  partitions: %d\n", g.NumPartitions())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command subtrav-bench regenerates the paper's evaluation figures
+// (Figures 8-12) and the ablation studies on the shared-disk
+// simulator, printing each as an aligned text table (or markdown/CSV).
+//
+// Usage:
+//
+//	subtrav-bench [flags] <experiment>
+//
+// where <experiment> is one of: fig8, fig9, fig10, fig11, fig12,
+// ablation, epsilon, warmstart, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"subtrav"
+	"subtrav/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced sweep (tiny graph, 3 unit counts)")
+		format = flag.String("format", "text", "output format: text, markdown, csv")
+		seed   = flag.Uint64("seed", 42, "master random seed")
+		scale  = flag.String("scale", "small", "graph scale: tiny, small, medium, large, paper")
+		units  = flag.String("units", "", "comma-separated unit sweep override, e.g. 1,2,4,8")
+		n      = flag.Int("queries", 0, "queries per run override")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|all\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if s, ok := parseScale(*scale); ok {
+		cfg.Scale = s
+	} else {
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *units != "" {
+		sweep, err := parseUnits(*units)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.UnitsSweep = sweep
+	}
+	if *n > 0 {
+		cfg.Queries = *n
+	}
+
+	render := func(t *experiments.Table) {
+		switch *format {
+		case "markdown":
+			fmt.Println(t.Markdown())
+		case "csv":
+			fmt.Println(t.CSV())
+		default:
+			fmt.Println(t.Text())
+		}
+	}
+	renderAll := func(ts []*experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			render(t)
+		}
+	}
+	renderOne := func(t *experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		render(t)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig8":
+			renderAll(experiments.Fig8(cfg))
+		case "fig9":
+			renderAll(experiments.Fig9(cfg))
+		case "fig10":
+			renderOne(experiments.Fig10(cfg))
+		case "fig11":
+			renderOne(experiments.Fig11(cfg))
+		case "fig12":
+			renderOne(experiments.Fig12(cfg))
+		case "ablation":
+			renderAll(experiments.Ablation(cfg))
+		case "epsilon":
+			renderOne(experiments.EpsilonSweep(cfg.Seed, 64))
+		case "warmstart":
+			renderOne(experiments.WarmStartStudy(cfg.Seed, 48, 8))
+		case "adaptive":
+			renderOne(experiments.AdaptiveEpsilonStudy(cfg.Seed, 48, 12))
+		case "latency":
+			renderOne(experiments.LatencyUnderLoad(cfg))
+		case "heterogeneous":
+			renderOne(experiments.Heterogeneous(cfg))
+		case "layout":
+			renderOne(experiments.PartitionedLayout(cfg))
+		case "signature":
+			renderOne(experiments.SignatureCapacity(cfg))
+		case "eta":
+			renderOne(experiments.EtaThreshold(cfg))
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	target := flag.Arg(0)
+	if target == "all" {
+		for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "epsilon", "warmstart", "adaptive", "latency", "heterogeneous", "layout", "signature", "eta"} {
+			run(name)
+		}
+		return
+	}
+	run(target)
+}
+
+func parseScale(s string) (subtrav.Scale, bool) {
+	switch s {
+	case "tiny":
+		return subtrav.ScaleTiny, true
+	case "small":
+		return subtrav.ScaleSmall, true
+	case "medium":
+		return subtrav.ScaleMedium, true
+	case "large":
+		return subtrav.ScaleLarge, true
+	case "paper":
+		return subtrav.ScalePaper, true
+	}
+	return 0, false
+}
+
+func parseUnits(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var u int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &u); err != nil || u <= 0 {
+			return nil, fmt.Errorf("bad unit count %q", part)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "subtrav-bench:", err)
+	os.Exit(1)
+}

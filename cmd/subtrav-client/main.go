@@ -1,0 +1,121 @@
+// Command subtrav-client drives a subtrav-service instance: it issues
+// a stream of traversal queries over TCP and reports throughput and
+// latency.
+//
+// Usage:
+//
+//	subtrav-client -addr 127.0.0.1:7070 -op bfs -n 1000 -concurrency 16
+//	subtrav-client -op sssp -start 3 -target 77 -depth 4 -n 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subtrav/internal/metrics"
+	"subtrav/internal/service"
+	"subtrav/internal/xrand"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "service address")
+		op          = flag.String("op", "bfs", "query op: bfs, sssp, collab, rwr")
+		start       = flag.Int("start", -1, "start vertex (-1: random per query)")
+		target      = flag.Int("target", 0, "SSSP target vertex")
+		depth       = flag.Int("depth", 2, "BFS depth / SSSP length bound")
+		maxVisits   = flag.Int("max-visits", 300, "BFS visit cap (0 = unbounded)")
+		steps       = flag.Int("steps", 300, "RWR steps")
+		restart     = flag.Float64("restart", 0.2, "RWR restart probability")
+		topK        = flag.Int("topk", 10, "RWR top-K")
+		threshold   = flag.Float64("threshold", 0.3, "collab similarity threshold")
+		filter      = flag.String("filter", "", `vertex predicate expression, e.g. 'age >= 30 && has(photo)'`)
+		edgeFilter  = flag.String("edge-filter", "", "edge predicate expression")
+		n           = flag.Int("n", 100, "number of queries")
+		concurrency = flag.Int("concurrency", 8, "concurrent in-flight queries")
+		seed        = flag.Uint64("seed", 1, "random seed for start vertices")
+		vertexRange = flag.Int("vertices", 20000, "random start range when -start=-1")
+	)
+	flag.Parse()
+
+	client, err := service.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	rng := xrand.New(*seed)
+	queries := make([]service.WireQuery, *n)
+	for i := range queries {
+		s := int32(*start)
+		if *start < 0 {
+			s = int32(rng.Intn(*vertexRange))
+		}
+		queries[i] = service.WireQuery{
+			Op: *op, Start: s, Target: int32(*target),
+			Depth: *depth, MaxVisits: *maxVisits,
+			Steps: *steps, RestartProb: *restart, TopK: *topK,
+			SimilarityThreshold: *threshold,
+			VertexFilter:        *filter,
+			EdgeFilter:          *edgeFilter,
+			Seed:                rng.Uint64(),
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []int64
+		failures atomic.Int64
+		visited  atomic.Int64
+	)
+	sem := make(chan struct{}, *concurrency)
+	begin := time.Now()
+	for i := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(q service.WireQuery) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			reply, err := client.Do(q)
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			visited.Add(int64(reply.Visited))
+			mu.Lock()
+			lats = append(lats, time.Since(t0).Nanoseconds())
+			mu.Unlock()
+		}(queries[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	ok := int64(len(lats))
+	fmt.Printf("queries: %d ok, %d failed in %v → %.1f q/s\n",
+		ok, failures.Load(), elapsed.Round(time.Millisecond),
+		metrics.Throughput(ok, elapsed))
+	fmt.Printf("latency: %v\n", metrics.SummarizeLatencies(lats))
+	fmt.Printf("vertices visited: %d total\n", visited.Load())
+
+	if stats, err := client.Stats(); err == nil {
+		fmt.Printf("service totals: %d queries completed; per-unit:", stats.TotalCompleted)
+		for _, u := range stats.Units {
+			fmt.Printf(" %d", u.Completed)
+		}
+		fmt.Println()
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "subtrav-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command subtrav-service runs the concurrent subgraph traversal
+// system as a TCP query service: the live goroutine runtime (one
+// worker per processing unit, auction-based scheduling) behind the
+// gob-over-TCP protocol of internal/service.
+//
+// Usage:
+//
+//	subtrav-service -addr 127.0.0.1:7070 -units 8 -mem 64
+//	subtrav-service -graph twitter.g -units 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"subtrav"
+	"subtrav/internal/affinity"
+	"subtrav/internal/graph"
+	"subtrav/internal/graphio"
+	"subtrav/internal/live"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		units     = flag.Int("units", 8, "processing units (worker goroutines)")
+		memMB     = flag.Int64("mem", 64, "per-unit buffer budget in MiB (0 = unlimited)")
+		graphFile = flag.String("graph", "", "graph file to serve (default: generated power-law)")
+		scale     = flag.String("scale", "small", "generated graph scale when -graph is not given")
+		seed      = flag.Uint64("seed", 42, "seed for the generated graph")
+		epsilon   = flag.Float64("epsilon", 1e-3, "auction minimum price increment")
+		timeScale = flag.Float64("timescale", 1e-3, "virtual-cost to wall-time scale for simulated I/O")
+	)
+	flag.Parse()
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *graphFile != "" {
+		g, err = graphio.ReadFile(*graphFile)
+	} else {
+		var sc subtrav.Scale
+		switch *scale {
+		case "tiny":
+			sc = subtrav.ScaleTiny
+		case "small":
+			sc = subtrav.ScaleSmall
+		case "medium":
+			sc = subtrav.ScaleMedium
+		default:
+			fatal(fmt.Errorf("unknown scale %q", *scale))
+		}
+		g, err = subtrav.TwitterLike(sc, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	rt, err := live.NewAuction(g, live.Config{
+		NumUnits:      *units,
+		MemoryPerUnit: *memMB << 20,
+		TimeScale:     *timeScale,
+	}, affinity.DefaultConfig(), *epsilon)
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+
+	// The service package wraps the runtime; importing it here keeps
+	// the wiring in one place.
+	srv, err := newServer(rt)
+	if err != nil {
+		fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("subtrav-service: %d vertices, %d edges, %d units, listening on %s\n",
+		g.NumVertices(), g.NumEdges(), *units, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("subtrav-service: shutting down")
+	srv.Close()
+	fmt.Printf("subtrav-service: served %d queries\n", rt.Completed())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "subtrav-service:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"subtrav/internal/live"
+	"subtrav/internal/service"
+)
+
+// newServer isolates the service wiring so main stays readable.
+func newServer(rt *live.Runtime) (*service.Server, error) {
+	return service.NewServer(rt)
+}

@@ -1,0 +1,62 @@
+package subtrav_test
+
+import (
+	"fmt"
+	"log"
+
+	"subtrav"
+	"subtrav/internal/predicate"
+	"subtrav/internal/traverse"
+	"subtrav/internal/workload"
+)
+
+// ExampleSystem_Run builds a small deployment and compares the paper's
+// scheduler against its baseline on one workload.
+func ExampleSystem_Run() {
+	g, err := subtrav.TwitterLike(subtrav.ScaleTiny, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := subtrav.NewSystem(g, subtrav.Options{Units: 4, MemoryPerUnit: 512 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks, err := workload.BFS(g, workload.StreamConfig{
+		NumQueries: 200, Seed: 1, Locality: workload.DefaultLocality(),
+	}, 2, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sys.Run(subtrav.PolicyBaseline, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := sys.Run(subtrav.PolicyAuction, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed: baseline %d, sch %d\n", base.Completed, sch.Completed)
+	fmt.Printf("sch at least as fast: %t\n", sch.ThroughputPerSec >= base.ThroughputPerSec)
+	// Output:
+	// completed: baseline 200, sch 200
+	// sch at least as fast: true
+}
+
+// ExampleCompile shows the predicate filter language used by service
+// queries (the paper's user-defined constraints θ).
+func ExampleCompile() {
+	g, err := subtrav.TwitterLike(subtrav.ScaleTiny, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := predicate.MustCompile(`gender == true && has(affiliation)`)
+	r, _, err := traverse.Execute(g, traverse.Query{
+		Op: traverse.OpBFS, Start: 0, Depth: 2, MaxVisits: 50, VertexPred: pred,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visited at most the cap: %t\n", r.Visited <= 50)
+	// Output:
+	// visited at most the cap: true
+}

@@ -1,0 +1,98 @@
+// Imagesearch: the paper's multimedia application — local search
+// re-ranking on an image-similarity graph with random walk with
+// restart (Section II, example 3; the ISVision use case of Section
+// VI). Image vertices carry large photo payloads, so disk loads
+// dominate and affinity scheduling posts its biggest wins (>2x in the
+// paper's Figure 12). Also demonstrates the memory-capacity
+// sensitivity of Figure 9 and re-ranking accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subtrav"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/sched"
+	"subtrav/internal/traverse"
+	"subtrav/internal/workload"
+)
+
+func main() {
+	// Paper-scale synthetic corpus: ≈5,978 photos of 336 persons,
+	// ≈89k SIFT-similarity edges, 45 partitions, 1,024 held-out
+	// query images.
+	corpus, err := subtrav.ImageCorpus(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := corpus.Graph
+	fmt.Printf("corpus: %d images, %d similarity edges, %d partitions, %d queries\n",
+		g.NumVertices(), g.NumEdges(), g.NumPartitions(), len(corpus.Queries))
+
+	tasks, err := workload.ImageSearch(corpus, workload.StreamConfig{
+		NumQueries: 1024, Seed: 5,
+	}, 400, 0.2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory-capacity sensitivity (the Figure 9 sweep): photo records
+	// are hundreds of KB, so the buffer budget is the whole game.
+	fmt.Println("\nmemory sensitivity at 64 units (baseline vs SCH):")
+	for _, memMB := range []int64{16, 32, 64, 0} {
+		label := fmt.Sprintf("%3d MiB", memMB)
+		if memMB == 0 {
+			label = "unlimited"
+		}
+		sys, err := subtrav.NewSystem(g, subtrav.Options{Units: 64, MemoryPerUnit: memMB << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := sys.Run(subtrav.PolicyBaseline, tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch, err := sys.Run(subtrav.PolicyAuction, tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s baseline %7.1f q/s   SCH %7.1f q/s   (%.2fx)\n",
+			label, base.ThroughputPerSec, sch.ThroughputPerSec,
+			sch.ThroughputPerSec/base.ThroughputPerSec)
+	}
+
+	// Re-ranking accuracy: how often does the RWR's top hit share the
+	// query's true identity? The corpus keeps per-image person labels.
+	sys, err := subtrav.NewSystem(g, subtrav.Options{Units: 16, MemoryPerUnit: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryPerson := make(map[int64]int32, len(tasks))
+	entryByTask := make(map[int64]graphgen.ImageQuery)
+	for _, task := range tasks {
+		for _, q := range corpus.Queries {
+			if q.Entry == task.Query.Start {
+				entryByTask[task.ID] = q
+				queryPerson[task.ID] = q.Person
+				break
+			}
+		}
+	}
+	var hits, total int
+	sys.Cluster().OnComplete = func(t *sched.Task, r traverse.Result) {
+		person, ok := queryPerson[t.ID]
+		if !ok || len(r.Ranking) == 0 {
+			return
+		}
+		total++
+		if corpus.Person[r.Ranking[0].Vertex] == person {
+			hits++
+		}
+	}
+	if _, err := sys.Run(subtrav.PolicyAuction, tasks); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-ranking: top-1 identity match %d/%d (%.0f%%)\n",
+		hits, total, 100*float64(hits)/float64(total))
+}

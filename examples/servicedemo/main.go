@@ -1,0 +1,106 @@
+// Servicedemo: the paper's deployment shape end to end, in one
+// process — a live goroutine runtime (one worker per processing unit,
+// auction scheduling) exposed over TCP, driven by a concurrent client.
+// This is what cmd/subtrav-service and cmd/subtrav-client do, minus
+// the flags.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"subtrav"
+	"subtrav/internal/affinity"
+	"subtrav/internal/live"
+	"subtrav/internal/metrics"
+	"subtrav/internal/service"
+	"subtrav/internal/xrand"
+)
+
+func main() {
+	g, err := subtrav.TwitterLike(subtrav.ScaleTiny, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live runtime: 4 workers, 1 MiB buffers, simulated I/O costs
+	// compressed 1000x into wall time.
+	rt, err := live.NewAuction(g, live.Config{
+		NumUnits:      4,
+		MemoryPerUnit: 1 << 20,
+		TimeScale:     1e-3,
+	}, affinity.DefaultConfig(), 1e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	srv, err := service.NewServer(rt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("service listening on %s (%d vertices, %d units)\n",
+		addr, g.NumVertices(), 4)
+
+	client, err := service.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Drive 400 mixed queries from 16 concurrent client goroutines.
+	rng := xrand.New(7)
+	queries := make([]service.WireQuery, 400)
+	for i := range queries {
+		switch i % 3 {
+		case 0:
+			queries[i] = service.WireQuery{Op: "bfs", Start: int32(rng.Intn(g.NumVertices())), Depth: 2, MaxVisits: 80}
+		case 1:
+			queries[i] = service.WireQuery{Op: "sssp", Start: int32(rng.Intn(g.NumVertices())), Target: int32(rng.Intn(g.NumVertices())), Depth: 4, MaxVisits: 150}
+		default:
+			queries[i] = service.WireQuery{Op: "rwr", Start: int32(rng.Intn(g.NumVertices())), Steps: 200, RestartProb: 0.2, TopK: 5, Seed: rng.Uint64()}
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []int64
+	)
+	sem := make(chan struct{}, 16)
+	begin := time.Now()
+	for _, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(q service.WireQuery) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			if _, err := client.Do(q); err != nil {
+				log.Printf("query failed: %v", err)
+				return
+			}
+			mu.Lock()
+			lats = append(lats, time.Since(t0).Nanoseconds())
+			mu.Unlock()
+		}(q)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	fmt.Printf("%d queries in %v → %.1f q/s\n",
+		len(lats), elapsed.Round(time.Millisecond),
+		metrics.Throughput(int64(len(lats)), elapsed))
+	fmt.Printf("latency: %v\n", metrics.SummarizeLatencies(lats))
+	fmt.Println("\nper-unit completions (affinity routing shapes these):")
+	for _, s := range rt.Stats() {
+		fmt.Printf("  unit %d: %d queries\n", s.Unit, s.Completed)
+	}
+}

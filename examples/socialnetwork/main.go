@@ -1,0 +1,91 @@
+// Socialnetwork: the paper's first two applications on an interaction
+// graph — neighborhood BFS and bounded single-source shortest path —
+// run concurrently under every scheduling policy, including the
+// topology comparison of Figure 11 (power-law vs uniform random).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subtrav"
+	"subtrav/internal/graph"
+	"subtrav/internal/sched"
+	"subtrav/internal/traverse"
+	"subtrav/internal/workload"
+)
+
+func main() {
+	const units = 16
+
+	tw, err := subtrav.TwitterLike(subtrav.ScaleSmall, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	er, err := subtrav.RandomGraph(subtrav.ScaleSmall, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, entry := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"power-law (twitter-like)", tw},
+		{"uniform random", er},
+	} {
+		fmt.Printf("\n=== %s: %d vertices, %d edges ===\n",
+			entry.name, entry.g.NumVertices(), entry.g.NumEdges())
+
+		sys, err := subtrav.NewSystem(entry.g, subtrav.Options{
+			Units:         units,
+			MemoryPerUnit: 2 << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Mixed workload: 1,500 BFS neighborhood scans plus 1,500
+		// bounded shortest-path probes, interleaved.
+		bfs, err := workload.BFS(entry.g, workload.StreamConfig{
+			NumQueries: 1500, Seed: 11, Locality: workload.DefaultLocality(),
+		}, 2, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sssp, err := workload.SSSP(entry.g, workload.StreamConfig{
+			NumQueries: 1500, Seed: 13, Locality: workload.DefaultLocality(),
+		}, 4, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks := make([]*sched.Task, 0, 3000)
+		for i := 0; i < 1500; i++ {
+			bfs[i].ID = int64(2 * i)
+			sssp[i].ID = int64(2*i + 1)
+			tasks = append(tasks, bfs[i], sssp[i])
+		}
+
+		// Count SSSP successes: semantic results flow out of the
+		// simulator through the OnComplete hook.
+		var ssspFound, ssspTotal int
+		sys.Cluster().OnComplete = func(t *sched.Task, r traverse.Result) {
+			if t.Query.Op == traverse.OpSSSP {
+				ssspTotal++
+				if r.Found {
+					ssspFound++
+				}
+			}
+		}
+
+		for _, policy := range subtrav.Policies() {
+			ssspFound, ssspTotal = 0, 0
+			res, err := sys.Run(policy, tasks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-14s %8.1f q/s   hit-rate %.3f   imbalance %.2f   sssp found %d/%d\n",
+				policy, res.ThroughputPerSec, res.HitRate, res.Imbalance, ssspFound, ssspTotal)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module subtrav
+
+go 1.22

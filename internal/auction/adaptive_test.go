@@ -1,0 +1,142 @@
+package auction
+
+import (
+	"testing"
+
+	"subtrav/internal/xrand"
+)
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	if _, err := NewAdaptiveAuctioneer(AdaptiveConfig{NumCols: 0}); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := NewAdaptiveAuctioneer(AdaptiveConfig{NumCols: 4, MinEpsilon: 1, MaxEpsilon: 0.5}); err == nil {
+		t.Error("inverted epsilon bounds accepted")
+	}
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{NumCols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Epsilon() != DefaultEpsilon {
+		t.Errorf("initial epsilon = %g", a.Epsilon())
+	}
+}
+
+func TestAdaptiveAssignValid(t *testing.T) {
+	rng := xrand.New(1)
+	const m = 12
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{NumCols: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		n := 1 + rng.Intn(m)
+		p := Dense(randomDense(rng, n, m))
+		res, err := a.Assign(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumAssigned() != n {
+			t.Fatalf("round %d: assigned %d of %d", round, res.NumAssigned(), n)
+		}
+		if err := VerifyMatching(p, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Runs() != 30 {
+		t.Errorf("runs = %d", a.Runs())
+	}
+	if len(a.EpsilonHistory()) != 30 {
+		t.Errorf("history = %d", len(a.EpsilonHistory()))
+	}
+}
+
+func TestAdaptiveGrowsUnderPressure(t *testing.T) {
+	// A tiny rounds budget forces the controller to coarsen ε.
+	rng := xrand.New(2)
+	const n = 24
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{
+		NumCols: n, InitialEpsilon: 1e-5, RoundsBudget: 3, Grow: 2, Shrink: 1.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := a.Epsilon()
+	for round := 0; round < 10; round++ {
+		if _, err := a.Assign(Dense(randomDense(rng, n, n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Epsilon() <= start {
+		t.Errorf("epsilon did not grow under rounds pressure: %g -> %g", start, a.Epsilon())
+	}
+}
+
+func TestAdaptiveShrinksWhenEasy(t *testing.T) {
+	// A huge budget and a trivial repeated problem: the controller
+	// should refine ε toward better assignments.
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{
+		NumCols: 4, InitialEpsilon: 0.1, RoundsBudget: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Dense([][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}})
+	start := a.Epsilon()
+	for round := 0; round < 10; round++ {
+		if _, err := a.Assign(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Epsilon() >= start {
+		t.Errorf("epsilon did not shrink on easy stream: %g -> %g", start, a.Epsilon())
+	}
+}
+
+func TestAdaptiveClamped(t *testing.T) {
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{
+		NumCols: 4, InitialEpsilon: 0.2, MinEpsilon: 0.05, MaxEpsilon: 0.2, RoundsBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	for round := 0; round < 20; round++ {
+		if _, err := a.Assign(Dense(randomDense(rng, 4, 4))); err != nil {
+			t.Fatal(err)
+		}
+		if eps := a.Epsilon(); eps < 0.05 || eps > 0.2 {
+			t.Fatalf("epsilon %g escaped clamp", eps)
+		}
+	}
+}
+
+func TestAdaptiveStabilizesWithinBand(t *testing.T) {
+	// On a stationary stream, ε should settle: the last few updates
+	// stay within one Grow step of each other.
+	rng := xrand.New(4)
+	const n = 32
+	a, err := NewAdaptiveAuctioneer(AdaptiveConfig{NumCols: n, RoundsBudget: 2 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 60; round++ {
+		if _, err := a.Assign(Dense(randomDense(rng, n, n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := a.EpsilonHistory()
+	tail := hist[len(hist)-10:]
+	min, max := tail[0], tail[0]
+	for _, e := range tail {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	if max/min > 8 {
+		t.Errorf("epsilon still oscillating widely at steady state: [%g, %g]", min, max)
+	}
+}

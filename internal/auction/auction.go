@@ -1,0 +1,449 @@
+// Package auction implements the assignment solvers of Section V: the
+// Bertsekas auction algorithm in sequential (Gauss-Seidel) and
+// parallel (Jacobi, goroutine-based) forms, an incremental Auctioneer
+// that warm-starts prices across scheduling rounds, ε-scaling, and two
+// exact reference solvers (Hungarian and brute force) used by tests to
+// verify the ε-optimality guarantee.
+//
+// The primal problem is Eq. 5 of the paper: select a matching between
+// rows (subgraph traversal tasks) and columns (processing units) that
+// maximizes total benefit; the auction computes the dual variables of
+// Eq. 6 through iterative bidding (Algorithm 1).
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arc is one admissible (row, column) pair with its benefit a_ij —
+// an edge of the dynamic bipartite graph B with weight from Eq. 4.
+type Arc struct {
+	Col     int
+	Benefit float64
+}
+
+// Problem is a sparse rectangular assignment problem. Row i may be
+// assigned to one of Rows[i]'s columns. len(Rows) may exceed NumCols,
+// in which case some rows necessarily stay unassigned.
+type Problem struct {
+	NumCols int
+	Rows    [][]Arc
+}
+
+// NumRows returns the number of bidder rows.
+func (p Problem) NumRows() int { return len(p.Rows) }
+
+// Validate checks arc ranges.
+func (p Problem) Validate() error {
+	if p.NumCols < 0 {
+		return fmt.Errorf("auction: NumCols = %d", p.NumCols)
+	}
+	for i, arcs := range p.Rows {
+		for _, a := range arcs {
+			if a.Col < 0 || a.Col >= p.NumCols {
+				return fmt.Errorf("auction: row %d has arc to column %d, want [0,%d)", i, a.Col, p.NumCols)
+			}
+			if math.IsNaN(a.Benefit) || math.IsInf(a.Benefit, 0) {
+				return fmt.Errorf("auction: row %d has non-finite benefit %v", i, a.Benefit)
+			}
+		}
+	}
+	return nil
+}
+
+// benefitRange returns the spread max-min over all arcs (0 if none).
+func (p Problem) benefitRange() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, arcs := range p.Rows {
+		for _, a := range arcs {
+			if a.Benefit < lo {
+				lo = a.Benefit
+			}
+			if a.Benefit > hi {
+				hi = a.Benefit
+			}
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Dense builds a fully dense problem from a benefit matrix.
+func Dense(benefits [][]float64) Problem {
+	numCols := 0
+	if len(benefits) > 0 {
+		numCols = len(benefits[0])
+	}
+	p := Problem{NumCols: numCols, Rows: make([][]Arc, len(benefits))}
+	for i, row := range benefits {
+		arcs := make([]Arc, len(row))
+		for j, b := range row {
+			arcs[j] = Arc{Col: j, Benefit: b}
+		}
+		p.Rows[i] = arcs
+	}
+	return p
+}
+
+// Assignment is the result of a solver run: the matching M of
+// Algorithm 1 plus bookkeeping.
+type Assignment struct {
+	// RowToCol[i] is the column assigned to row i, or -1.
+	RowToCol []int
+	// ColToRow[j] is the row assigned to column j, or -1.
+	ColToRow []int
+	// Benefit is the total benefit of the matched arcs.
+	Benefit float64
+	// Rounds is the number of bidding rounds executed.
+	Rounds int
+	// Bids is the total number of individual bids placed.
+	Bids int64
+}
+
+// Unassigned returns the rows left without a column.
+func (a Assignment) Unassigned() []int {
+	var out []int
+	for i, c := range a.RowToCol {
+		if c < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumAssigned returns the matching cardinality.
+func (a Assignment) NumAssigned() int {
+	n := 0
+	for _, c := range a.RowToCol {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes the auction solvers.
+type Options struct {
+	// Epsilon is the minimum price increment that prevents the price
+	// war of Section V-B. The final assignment is within
+	// NumRows*Epsilon of optimal. Must be > 0; DefaultEpsilon is used
+	// when zero.
+	Epsilon float64
+	// Scaling enables ε-scaling: bidding starts with a coarse ε
+	// (benefitRange/2) and refines by ScalingFactor until reaching
+	// Epsilon, reusing prices between phases. Reduces rounds on large
+	// problems.
+	//
+	// The optimality bound of ε-scaling needs every column assigned at
+	// the end of each phase (otherwise warm prices leave stale
+	// positive prices on columns the final phase never assigns).
+	// Square problems satisfy that directly; rectangular problems are
+	// padded to square with zero-benefit dummy rows/columns — the
+	// standard transformation — so Scaling applies to any shape. For
+	// problems with zero-benefit optimal arcs the padded form may
+	// leave such rows unassigned (equal objective).
+	Scaling bool
+	// ScalingFactor divides ε between phases (default 4).
+	ScalingFactor float64
+	// Workers is the number of goroutines used by SolveParallel's bid
+	// phase (default: 1 worker per 64 rows, capped at 8).
+	Workers int
+	// MaxRounds caps bidding rounds as a safety net against
+	// pathological inputs (default 0: derived from problem size).
+	MaxRounds int
+
+	// parallel selects the Jacobi solver inside the Auctioneer; set
+	// via AuctioneerConfig.Parallel.
+	parallel bool
+}
+
+// DefaultEpsilon is the price increment used when Options.Epsilon is
+// zero. Benefits produced by the affinity scorer live in [0, 1]ε̃⁻¹, so
+// 1e-3 gives near-optimal assignments at speed.
+const DefaultEpsilon = 1e-3
+
+func (o Options) withDefaults(p Problem) Options {
+	if o.Epsilon <= 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.ScalingFactor <= 1 {
+		o.ScalingFactor = 4
+	}
+	if o.MaxRounds <= 0 {
+		// Theoretical round bounds are O(n²·C/ε); this cap is generous
+		// and in practice never reached on feasible inputs.
+		n := p.NumRows() + p.NumCols + 1
+		c := p.benefitRange()
+		cap := 1000 + 10*n + int(float64(2*p.NumRows()+1)*(c+1)/o.Epsilon)
+		o.MaxRounds = cap
+	}
+	return o
+}
+
+// state is the shared auction machinery used by both solver variants.
+type state struct {
+	p        Problem
+	prices   []float64
+	rowToCol []int
+	colToRow []int
+	// profitFloor is the "second-best profit" used when a row has a
+	// single admissible column, standing in for -∞ without producing
+	// unbounded prices.
+	profitFloor float64
+	bids        int64
+}
+
+func newState(p Problem, prices []float64) *state {
+	s := &state{
+		p:        p,
+		prices:   prices,
+		rowToCol: make([]int, p.NumRows()),
+		colToRow: make([]int, p.NumCols),
+	}
+	for i := range s.rowToCol {
+		s.rowToCol[i] = -1
+	}
+	for j := range s.colToRow {
+		s.colToRow[j] = -1
+	}
+	maxPrice := 0.0
+	for _, pr := range prices {
+		if pr > maxPrice {
+			maxPrice = pr
+		}
+	}
+	minBenefit := math.Inf(1)
+	for _, arcs := range p.Rows {
+		for _, a := range arcs {
+			if a.Benefit < minBenefit {
+				minBenefit = a.Benefit
+			}
+		}
+	}
+	if math.IsInf(minBenefit, 1) {
+		minBenefit = 0
+	}
+	// Infeasibility detection depth: a row is declared unassignable
+	// only after prices have risen far enough that no augmenting chain
+	// could still assign it (Bertsekas' (2n-1)·C bound, padded).
+	depth := float64(2*p.NumRows()+1) * (p.benefitRange() + 1)
+	s.profitFloor = minBenefit - maxPrice - depth
+	return s
+}
+
+// bestTwo computes the best and second-best profit a_ij - p_j over
+// row i's arcs. ok is false when the row has no arcs.
+func (s *state) bestTwo(i int) (bestCol int, bestProfit, secondProfit float64, ok bool) {
+	arcs := s.p.Rows[i]
+	if len(arcs) == 0 {
+		return -1, 0, 0, false
+	}
+	bestCol = -1
+	bestProfit = math.Inf(-1)
+	secondProfit = math.Inf(-1)
+	for _, a := range arcs {
+		profit := a.Benefit - s.prices[a.Col]
+		if profit > bestProfit {
+			secondProfit = bestProfit
+			bestProfit = profit
+			bestCol = a.Col
+		} else if profit > secondProfit {
+			secondProfit = profit
+		}
+	}
+	if math.IsInf(secondProfit, -1) {
+		secondProfit = s.profitFloor
+	}
+	return bestCol, bestProfit, secondProfit, true
+}
+
+// assign gives column j to row i, displacing and returning the prior
+// owner (-1 if none).
+func (s *state) assign(i, j int) (displaced int) {
+	displaced = s.colToRow[j]
+	if displaced >= 0 {
+		s.rowToCol[displaced] = -1
+	}
+	s.colToRow[j] = i
+	s.rowToCol[i] = j
+	return displaced
+}
+
+// result packages the current matching.
+func (s *state) result(rounds int) Assignment {
+	a := Assignment{
+		RowToCol: s.rowToCol,
+		ColToRow: s.colToRow,
+		Rounds:   rounds,
+		Bids:     s.bids,
+	}
+	for i, j := range s.rowToCol {
+		if j >= 0 {
+			for _, arc := range s.p.Rows[i] {
+				if arc.Col == j {
+					a.Benefit += arc.Benefit
+					break
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Solve runs the sequential Gauss-Seidel auction: one bidder at a time
+// bids, wins, and displaces — the textbook form of Algorithm 1.
+func Solve(p Problem, opts Options) Assignment {
+	return solveWithPrices(p, opts, make([]float64, p.NumCols))
+}
+
+// SolvePriced runs the sequential auction with caller-provided initial
+// prices (len == NumCols). The slice is updated in place with the
+// final dual prices, enabling warm starts and ε-CS verification.
+func SolvePriced(p Problem, opts Options, prices []float64) Assignment {
+	return solveWithPrices(p, opts, prices)
+}
+
+// SolveParallelPriced is SolveParallel with caller-provided prices,
+// updated in place.
+func SolveParallelPriced(p Problem, opts Options, prices []float64) Assignment {
+	return solveParallelWithPrices(p, opts, prices)
+}
+
+func solveWithPrices(p Problem, opts Options, prices []float64) Assignment {
+	opts = opts.withDefaults(p)
+	if opts.Scaling {
+		return scaleViaSquare(p, opts, prices, sequentialRounds)
+	}
+	s := newState(p, prices)
+	rounds := sequentialRounds(s, opts.Epsilon, opts.MaxRounds)
+	return s.result(rounds)
+}
+
+// scaleViaSquare runs ε-scaling, padding rectangular problems to
+// square with zero-benefit dummies first (see Options.Scaling).
+func scaleViaSquare(p Problem, opts Options, prices []float64, run func(*state, float64, int) int) Assignment {
+	n, m := p.NumRows(), p.NumCols
+	if n == m {
+		return solveScaled(p, opts, prices, run)
+	}
+	square := Problem{NumCols: m, Rows: p.Rows}
+	if m > n {
+		// Dummy rows adjacent to every column with benefit 0.
+		dummyArcs := make([]Arc, m)
+		for j := range dummyArcs {
+			dummyArcs[j] = Arc{Col: j}
+		}
+		rows := make([][]Arc, m)
+		copy(rows, p.Rows)
+		for i := n; i < m; i++ {
+			rows[i] = dummyArcs
+		}
+		square.Rows = rows
+	} else {
+		// Dummy columns adjacent to every row with benefit 0.
+		square.NumCols = n
+		rows := make([][]Arc, n)
+		for i, arcs := range p.Rows {
+			padded := make([]Arc, len(arcs), len(arcs)+n-m)
+			copy(padded, arcs)
+			for j := m; j < n; j++ {
+				padded = append(padded, Arc{Col: j})
+			}
+			rows[i] = padded
+		}
+		square.Rows = rows
+	}
+	squarePrices := prices
+	if square.NumCols > len(prices) {
+		squarePrices = make([]float64, square.NumCols)
+		copy(squarePrices, prices)
+	}
+	res := solveScaled(square, opts, squarePrices, run)
+	copy(prices, squarePrices[:min(len(prices), len(squarePrices))])
+
+	out := Assignment{
+		RowToCol: make([]int, n),
+		ColToRow: make([]int, m),
+		Rounds:   res.Rounds,
+		Bids:     res.Bids,
+	}
+	for j := range out.ColToRow {
+		out.ColToRow[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		j := res.RowToCol[i]
+		if j >= 0 && j < m {
+			out.RowToCol[i] = j
+			out.ColToRow[j] = i
+		} else {
+			out.RowToCol[i] = -1 // parked on a dummy column
+		}
+	}
+	out.Benefit = res.Benefit // dummy arcs contribute exactly 0
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sequentialRounds runs Gauss-Seidel bidding until no assignable row
+// remains unassigned; returns rounds executed.
+func sequentialRounds(s *state, eps float64, maxRounds int) int {
+	// Queue of unassigned rows; rows found unassignable (no arcs, or
+	// priced out) are dropped.
+	queue := make([]int, 0, s.p.NumRows())
+	for i := range s.p.Rows {
+		queue = append(queue, i)
+	}
+	rounds := 0
+	for len(queue) > 0 && rounds < maxRounds {
+		rounds++
+		i := queue[0]
+		queue = queue[1:]
+		if s.rowToCol[i] >= 0 {
+			continue
+		}
+		j, best, second, ok := s.bestTwo(i)
+		if !ok || best < s.profitFloor {
+			continue // unassignable
+		}
+		s.bids++
+		// Price rises by the bid increment: best-second+ε (Line 9 of
+		// Algorithm 1: p_{j1} ← a_{ij1} − a_{ij2} + p_{j2} + ε).
+		s.prices[j] += best - second + eps
+		if displaced := s.assign(i, j); displaced >= 0 {
+			queue = append(queue, displaced)
+		}
+	}
+	return rounds
+}
+
+// solveScaled runs ε-scaling phases, reusing prices between phases.
+func solveScaled(p Problem, opts Options, prices []float64, run func(*state, float64, int) int) Assignment {
+	rangeC := p.benefitRange()
+	eps := rangeC / 2
+	if eps <= opts.Epsilon {
+		eps = opts.Epsilon
+	}
+	var s *state
+	totalRounds := 0
+	for {
+		s = newState(p, prices)
+		totalRounds += run(s, eps, opts.MaxRounds)
+		if eps <= opts.Epsilon {
+			break
+		}
+		eps /= opts.ScalingFactor
+		if eps < opts.Epsilon {
+			eps = opts.Epsilon
+		}
+	}
+	return s.result(totalRounds)
+}

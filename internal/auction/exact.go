@@ -1,0 +1,216 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveExact computes the maximum-benefit assignment of a dense
+// benefit matrix with the Hungarian algorithm (O(n²m), n rows ≤ m
+// columns). It assigns every row and is used as the exact reference
+// against which the ε-optimality of the auction solvers is verified.
+func SolveExact(benefits [][]float64) (Assignment, error) {
+	n := len(benefits)
+	if n == 0 {
+		return Assignment{RowToCol: []int{}, ColToRow: []int{}}, nil
+	}
+	m := len(benefits[0])
+	if n > m {
+		return Assignment{}, fmt.Errorf("auction: SolveExact needs rows (%d) <= cols (%d)", n, m)
+	}
+	for i, row := range benefits {
+		if len(row) != m {
+			return Assignment{}, fmt.Errorf("auction: ragged benefit matrix at row %d", i)
+		}
+	}
+
+	// Classic potentials formulation on the cost matrix c = -benefit,
+	// 1-based with a virtual row/column 0.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, m+1) // way[j]: previous column on the alternating path
+
+	cost := func(i, j int) float64 { return -benefits[i-1][j-1] }
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	a := Assignment{RowToCol: make([]int, n), ColToRow: make([]int, m)}
+	for i := range a.RowToCol {
+		a.RowToCol[i] = -1
+	}
+	for j := range a.ColToRow {
+		a.ColToRow[j] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			a.RowToCol[p[j]-1] = j - 1
+			a.ColToRow[j-1] = p[j] - 1
+			a.Benefit += benefits[p[j]-1][j-1]
+		}
+	}
+	return a, nil
+}
+
+// SolveBruteForce enumerates every injective partial assignment of a
+// sparse problem and returns one maximizing (cardinality, benefit)
+// lexicographically. Exponential — test use only (≲ 10 rows).
+func SolveBruteForce(p Problem) Assignment {
+	n := p.NumRows()
+	best := Assignment{RowToCol: make([]int, n), ColToRow: make([]int, p.NumCols), Benefit: math.Inf(-1)}
+	for i := range best.RowToCol {
+		best.RowToCol[i] = -1
+	}
+	for j := range best.ColToRow {
+		best.ColToRow[j] = -1
+	}
+	bestCard := -1
+
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = -1
+	}
+	usedCol := make([]bool, p.NumCols)
+
+	var rec func(row, card int, benefit float64)
+	rec = func(row, card int, benefit float64) {
+		if row == n {
+			if card > bestCard || (card == bestCard && benefit > best.Benefit) {
+				bestCard = card
+				best.Benefit = benefit
+				copy(best.RowToCol, cur)
+			}
+			return
+		}
+		// Leave this row unassigned.
+		rec(row+1, card, benefit)
+		for _, a := range p.Rows[row] {
+			if usedCol[a.Col] {
+				continue
+			}
+			usedCol[a.Col] = true
+			cur[row] = a.Col
+			rec(row+1, card+1, benefit+a.Benefit)
+			cur[row] = -1
+			usedCol[a.Col] = false
+		}
+	}
+	rec(0, 0, 0)
+
+	if bestCard <= 0 && best.Benefit == math.Inf(-1) {
+		best.Benefit = 0
+	}
+	for i, c := range best.RowToCol {
+		if c >= 0 {
+			best.ColToRow[c] = i
+		}
+	}
+	return best
+}
+
+// VerifyEpsilonCS checks ε-complementary slackness of an assignment
+// against a price vector: every assigned row's profit must be within
+// eps of its best achievable profit. This is the invariant auction
+// termination guarantees and the basis of its optimality bound.
+func VerifyEpsilonCS(p Problem, a Assignment, prices []float64, eps float64) error {
+	for i, arcs := range p.Rows {
+		j := a.RowToCol[i]
+		if j < 0 {
+			continue
+		}
+		var assignedProfit float64
+		found := false
+		bestProfit := math.Inf(-1)
+		for _, arc := range arcs {
+			profit := arc.Benefit - prices[arc.Col]
+			if profit > bestProfit {
+				bestProfit = profit
+			}
+			if arc.Col == j {
+				assignedProfit = profit
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("auction: row %d assigned to inadmissible column %d", i, j)
+		}
+		if assignedProfit < bestProfit-eps-1e-9 {
+			return fmt.Errorf("auction: row %d violates ε-CS: assigned profit %g < best %g - ε %g",
+				i, assignedProfit, bestProfit, eps)
+		}
+	}
+	return nil
+}
+
+// VerifyMatching checks structural validity: RowToCol and ColToRow are
+// mutually consistent and no column is assigned twice.
+func VerifyMatching(p Problem, a Assignment) error {
+	if len(a.RowToCol) != p.NumRows() || len(a.ColToRow) != p.NumCols {
+		return fmt.Errorf("auction: assignment shape %dx%d, want %dx%d",
+			len(a.RowToCol), len(a.ColToRow), p.NumRows(), p.NumCols)
+	}
+	seen := make(map[int]int)
+	for i, j := range a.RowToCol {
+		if j < 0 {
+			continue
+		}
+		if prev, dup := seen[j]; dup {
+			return fmt.Errorf("auction: column %d assigned to rows %d and %d", j, prev, i)
+		}
+		seen[j] = i
+		if a.ColToRow[j] != i {
+			return fmt.Errorf("auction: ColToRow[%d] = %d, want %d", j, a.ColToRow[j], i)
+		}
+	}
+	for j, i := range a.ColToRow {
+		if i >= 0 && a.RowToCol[i] != j {
+			return fmt.Errorf("auction: RowToCol[%d] = %d, want %d", i, a.RowToCol[i], j)
+		}
+	}
+	return nil
+}

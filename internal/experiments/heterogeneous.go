@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"subtrav"
+)
+
+// Heterogeneous is an extension experiment: one quarter of the units
+// run 4x slower (a degraded rack, a noisy neighbor). Static policies
+// (round-robin, random) keep feeding the slow units; queue-aware
+// policies route around them because slow units drain slower and Eq. 4
+// (or join-shortest-queue) makes long queues unattractive. The table
+// reports throughput and the slow units' share of completed work.
+func Heterogeneous(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// A compute-bound regime (few units, unlimited buffers) so the 4x
+	// CPU degradation is visible; at high unit counts the shared disk
+	// dominates and per-unit speed stops mattering.
+	units := 8
+	if units > cfg.maxUnits() {
+		units = cfg.maxUnits()
+	}
+	a := bfsApp()
+	g, tasks, err := a.build(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	slowCount := units / 4
+	if slowCount == 0 {
+		slowCount = 1
+	}
+	speeds := make([]float64, units)
+	for i := range speeds {
+		if i < slowCount {
+			speeds[i] = 4 // 4x slower
+		} else {
+			speeds[i] = 1
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Extension: heterogeneous units (%d of %d run 4x slower)", slowCount, units),
+		Columns: []string{"policy", "throughput (q/s)", "slow-unit share", "fair share"},
+		Notes: []string{
+			"queue-aware policies should give slow units less work; static ones overload them",
+		},
+	}
+	fairShare := float64(slowCount) / (float64(slowCount) + 4*float64(units-slowCount)) // perf-proportional
+	type variant struct {
+		label  string
+		policy subtrav.Policy
+		cold   float64
+	}
+	variants := []variant{{"sch+cold", subtrav.PolicyAuction, 0.1}}
+	for _, p := range subtrav.Policies() {
+		variants = append(variants, variant{string(p), p, 0})
+	}
+	for _, v := range variants {
+		res, err := cfg.runOnOpts(g, tasks, v.policy, subtrav.Options{
+			Units: units, MemoryPerUnit: 0, /* unlimited: compute-bound */
+			SpeedFactors: speeds, ColdScore: v.cold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var slow, total int64
+		for i, n := range res.TasksPerUnit {
+			total += n
+			if i < slowCount {
+				slow += n
+			}
+		}
+		share := 0.0
+		if total > 0 {
+			share = float64(slow) / float64(total)
+		}
+		t.AddRow(v.label, res.ThroughputPerSec,
+			fmt.Sprintf("%.1f%%", 100*share),
+			fmt.Sprintf("%.1f%%", 100*fairShare))
+	}
+	t.Notes = append(t.Notes,
+		"pure affinity sticks to a task's (possibly degraded) home unit; the cold-start escape arc lets hot queues spill to faster idle units",
+		"with unlimited buffers locality is free, so balance-only wins this regime outright — the other pole of the balance-affinity tradeoff")
+	return t, nil
+}

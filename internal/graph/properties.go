@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Properties is a schemaless property map θ = {mᵢ → wᵢ} attached to a
+// vertex or edge, per Section II of the paper. Values are restricted
+// to a small set of kinds so that serialized sizes are well defined
+// for the storage cost model.
+type Properties map[string]Value
+
+// ValueKind enumerates the supported property value kinds.
+type ValueKind uint8
+
+const (
+	KindString ValueKind = iota
+	KindInt
+	KindFloat
+	KindBool
+	// KindBlob models opaque binary payloads such as photo data; only
+	// the length is stored, because the simulator cares about bytes,
+	// not content.
+	KindBlob
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindBlob:
+		return "blob"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union property value.
+type Value struct {
+	kind ValueKind
+	str  string
+	num  int64
+	f    float64
+}
+
+// String constructs a string value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int constructs an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float constructs a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool constructs a boolean value.
+func Bool(b bool) Value {
+	var n int64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Blob constructs an opaque payload of the given size in bytes.
+func Blob(size int) Value { return Value{kind: KindBlob, num: int64(size)} }
+
+// Kind returns the value's kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// Str returns the string payload; zero for non-string values.
+func (v Value) Str() string { return v.str }
+
+// Int64 returns the integer payload; zero for non-int values.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return v.num
+}
+
+// Float64 returns the numeric payload as float64 for int and float
+// kinds; zero otherwise.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.num)
+	default:
+		return 0
+	}
+}
+
+// IsTrue returns the boolean payload; false for non-bool values.
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.num != 0 }
+
+// BlobSize returns the blob length in bytes; zero for non-blobs.
+func (v Value) BlobSize() int {
+	if v.kind != KindBlob {
+		return 0
+	}
+	return int(v.num)
+}
+
+// SerializedBytes estimates the on-disk footprint of the value: kind
+// tag plus payload.
+func (v Value) SerializedBytes() int {
+	switch v.kind {
+	case KindString:
+		return 1 + len(v.str)
+	case KindInt, KindFloat:
+		return 1 + 8
+	case KindBool:
+		return 1 + 1
+	case KindBlob:
+		return 1 + int(v.num)
+	default:
+		return 1
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool { return v == o }
+
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return fmt.Sprintf("%q", v.str)
+	case KindInt:
+		return fmt.Sprintf("%d", v.num)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindBool:
+		return fmt.Sprintf("%t", v.num != 0)
+	case KindBlob:
+		return fmt.Sprintf("blob[%dB]", v.num)
+	default:
+		return "<invalid>"
+	}
+}
+
+// SerializedBytes estimates the on-disk footprint of a property map:
+// per-entry name + value bytes.
+func (p Properties) SerializedBytes() int {
+	total := 0
+	for name, v := range p {
+		total += len(name) + v.SerializedBytes()
+	}
+	return total
+}
+
+// Clone returns a deep copy of the property map.
+func (p Properties) Clone() Properties {
+	if p == nil {
+		return nil
+	}
+	out := make(Properties, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the property map with deterministic key order, which
+// keeps golden tests and logs stable.
+func (p Properties) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", k, p[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Predicate is a user-defined constraint θ checked against vertex or
+// edge properties during traversal (Section V-C). A nil Predicate
+// matches everything.
+type Predicate func(Properties) bool
+
+// MatchAll returns a predicate that is satisfied only when every given
+// predicate is satisfied.
+func MatchAll(preds ...Predicate) Predicate {
+	return func(p Properties) bool {
+		for _, pred := range preds {
+			if pred != nil && !pred(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// HasProp returns a predicate matching maps that contain the named
+// property.
+func HasProp(name string) Predicate {
+	return func(p Properties) bool {
+		_, ok := p[name]
+		return ok
+	}
+}
+
+// PropEquals returns a predicate matching maps whose named property
+// equals want.
+func PropEquals(name string, want Value) Predicate {
+	return func(p Properties) bool {
+		got, ok := p[name]
+		return ok && got.Equal(want)
+	}
+}
+
+// IntPropAtLeast returns a predicate matching maps whose named integer
+// property is >= min.
+func IntPropAtLeast(name string, min int64) Predicate {
+	return func(p Properties) bool {
+		got, ok := p[name]
+		return ok && got.Kind() == KindInt && got.Int64() >= min
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind ValueKind
+	}{
+		{String("x"), KindString},
+		{Int(7), KindInt},
+		{Float(3.5), KindFloat},
+		{Bool(true), KindBool},
+		{Blob(100), KindBlob},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := String("hello").Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := Int(-5).Int64(); got != -5 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := Float(2.5).Float64(); got != 2.5 {
+		t.Errorf("Float64 = %g", got)
+	}
+	if got := Int(4).Float64(); got != 4 {
+		t.Errorf("Int-as-Float64 = %g, want 4", got)
+	}
+	if !Bool(true).IsTrue() || Bool(false).IsTrue() {
+		t.Error("Bool accessors wrong")
+	}
+	if got := Blob(42).BlobSize(); got != 42 {
+		t.Errorf("BlobSize = %d", got)
+	}
+	// Cross-kind accessors return zero values.
+	if String("x").Int64() != 0 || Int(1).Str() != "" || String("x").BlobSize() != 0 {
+		t.Error("cross-kind accessor leaked a value")
+	}
+}
+
+func TestSerializedBytes(t *testing.T) {
+	if got := String("abcd").SerializedBytes(); got != 5 {
+		t.Errorf("string bytes = %d, want 5", got)
+	}
+	if got := Int(1).SerializedBytes(); got != 9 {
+		t.Errorf("int bytes = %d, want 9", got)
+	}
+	if got := Bool(true).SerializedBytes(); got != 2 {
+		t.Errorf("bool bytes = %d, want 2", got)
+	}
+	if got := Blob(1000).SerializedBytes(); got != 1001 {
+		t.Errorf("blob bytes = %d, want 1001", got)
+	}
+	p := Properties{"a": Int(1), "bb": String("xy")}
+	// "a"(1)+9 + "bb"(2)+3 = 15
+	if got := p.SerializedBytes(); got != 15 {
+		t.Errorf("props bytes = %d, want 15", got)
+	}
+}
+
+func TestPropertiesClone(t *testing.T) {
+	p := Properties{"k": Int(1)}
+	c := p.Clone()
+	c["k"] = Int(2)
+	if p["k"].Int64() != 1 {
+		t.Error("Clone is not a deep copy of the map")
+	}
+	if Properties(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestPropertiesStringDeterministic(t *testing.T) {
+	p := Properties{"z": Int(1), "a": Int(2), "m": String("q")}
+	s1, s2 := p.String(), p.String()
+	if s1 != s2 {
+		t.Errorf("String not deterministic: %q vs %q", s1, s2)
+	}
+	if !strings.Contains(s1, `a: 2`) || strings.Index(s1, "a:") > strings.Index(s1, "z:") {
+		t.Errorf("String = %q, want sorted keys", s1)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	p := Properties{"age": Int(30), "name": String("bob")}
+	if !HasProp("age")(p) || HasProp("ghost")(p) {
+		t.Error("HasProp wrong")
+	}
+	if !PropEquals("name", String("bob"))(p) || PropEquals("name", String("eve"))(p) {
+		t.Error("PropEquals wrong")
+	}
+	if !IntPropAtLeast("age", 30)(p) || IntPropAtLeast("age", 31)(p) {
+		t.Error("IntPropAtLeast wrong")
+	}
+	if IntPropAtLeast("name", 0)(p) {
+		t.Error("IntPropAtLeast should reject non-int kinds")
+	}
+	all := MatchAll(HasProp("age"), PropEquals("name", String("bob")))
+	if !all(p) {
+		t.Error("MatchAll should accept")
+	}
+	if MatchAll(HasProp("age"), HasProp("ghost"))(p) {
+		t.Error("MatchAll should reject when one predicate fails")
+	}
+	if !MatchAll()(p) {
+		t.Error("empty MatchAll should accept")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Directed.String() != "directed" || Undirected.String() != "undirected" {
+		t.Error("Kind.String wrong")
+	}
+	if KindBlob.String() != "blob" {
+		t.Error("ValueKind.String wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package graphgen
+
+import (
+	"fmt"
+	"math"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/xrand"
+)
+
+// PurchaseConfig configures the customer-product purchase graph used
+// by the naive collaborative-filtering application (Section II,
+// example 2): a bipartite graph linking customers to the products they
+// purchased, with power-law product popularity.
+type PurchaseConfig struct {
+	NumCustomers int
+	NumProducts  int
+	// PurchasesPerCustomerMean is the mean basket size; actual basket
+	// sizes are 1 + Poisson-ish (geometric) around the mean.
+	PurchasesPerCustomerMean float64
+	// PopularityExponent shapes product popularity (>2, power law).
+	PopularityExponent float64
+	Seed               uint64
+}
+
+// PurchaseGraph is the generated bipartite graph. Vertices
+// [0, NumCustomers) are customers; [NumCustomers, NumCustomers+NumProducts)
+// are products.
+type PurchaseGraph struct {
+	Graph        *graph.Graph
+	NumCustomers int
+	NumProducts  int
+}
+
+// CustomerVertex maps a customer index to its vertex ID.
+func (p *PurchaseGraph) CustomerVertex(i int) graph.VertexID { return graph.VertexID(i) }
+
+// ProductVertex maps a product index to its vertex ID.
+func (p *PurchaseGraph) ProductVertex(i int) graph.VertexID {
+	return graph.VertexID(p.NumCustomers + i)
+}
+
+// IsProduct reports whether v is a product vertex.
+func (p *PurchaseGraph) IsProduct(v graph.VertexID) bool {
+	return int(v) >= p.NumCustomers && int(v) < p.NumCustomers+p.NumProducts
+}
+
+// Purchases generates the bipartite purchase graph.
+func Purchases(cfg PurchaseConfig) (*PurchaseGraph, error) {
+	switch {
+	case cfg.NumCustomers <= 0:
+		return nil, fmt.Errorf("graphgen: NumCustomers = %d, want > 0", cfg.NumCustomers)
+	case cfg.NumProducts <= 0:
+		return nil, fmt.Errorf("graphgen: NumProducts = %d, want > 0", cfg.NumProducts)
+	case cfg.PurchasesPerCustomerMean <= 0:
+		return nil, fmt.Errorf("graphgen: PurchasesPerCustomerMean = %g, want > 0", cfg.PurchasesPerCustomerMean)
+	case cfg.PopularityExponent <= 2:
+		return nil, fmt.Errorf("graphgen: PopularityExponent = %g, want > 2", cfg.PopularityExponent)
+	}
+	rng := xrand.New(cfg.Seed)
+	n := cfg.NumCustomers + cfg.NumProducts
+	b := graph.NewBuilder(graph.Undirected, n)
+
+	popularity := make([]float64, cfg.NumProducts)
+	power := -1.0 / (cfg.PopularityExponent - 1)
+	for i := range popularity {
+		popularity[i] = math.Pow(float64(i+1), power)
+	}
+	sampler := xrand.NewAlias(popularity)
+
+	for c := 0; c < cfg.NumCustomers; c++ {
+		basket := 1 + geometricAround(rng, cfg.PurchasesPerCustomerMean-1)
+		bought := make(map[int]struct{}, basket)
+		for len(bought) < basket && len(bought) < cfg.NumProducts {
+			p := sampler.Sample(rng)
+			if _, dup := bought[p]; dup {
+				continue
+			}
+			bought[p] = struct{}{}
+			b.AddEdgeFull(graph.VertexID(c), graph.VertexID(cfg.NumCustomers+p), 1,
+				graph.Properties{"ts": graph.Int(rng.Int63() % (1 << 40))})
+		}
+	}
+	for c := 0; c < cfg.NumCustomers; c++ {
+		b.SetVertexProps(graph.VertexID(c), graph.Properties{
+			"kind": graph.String("customer"),
+			"id":   graph.Int(int64(c)),
+		})
+	}
+	for p := 0; p < cfg.NumProducts; p++ {
+		b.SetVertexProps(graph.VertexID(cfg.NumCustomers+p), graph.Properties{
+			"kind": graph.String("product"),
+			"id":   graph.Int(int64(p)),
+			"desc": graph.Blob(64 + rng.Intn(192)),
+		})
+	}
+	return &PurchaseGraph{Graph: b.Build(), NumCustomers: cfg.NumCustomers, NumProducts: cfg.NumProducts}, nil
+}
+
+// geometricAround draws a geometric variate with the given mean
+// (mean 0 returns 0).
+func geometricAround(rng *xrand.RNG, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	count := 0
+	for rng.Float64() > p {
+		count++
+		if count > 10_000 {
+			break
+		}
+	}
+	return count
+}

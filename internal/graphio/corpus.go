@@ -1,0 +1,102 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+)
+
+// corpusHeader carries the image corpus's non-graph state.
+type corpusHeader struct {
+	Magic   string
+	Version int
+	Person  []int32
+	Queries []wireImageQuery
+}
+
+type wireImageQuery struct {
+	Person int32
+	Entry  int32
+}
+
+const corpusMagic = "subtrav-corpus"
+
+// WriteCorpus encodes an image corpus (similarity graph + person
+// labels + held-out queries) to w.
+func WriteCorpus(w io.Writer, c *graphgen.ImageCorpus) error {
+	if c == nil || c.Graph == nil {
+		return fmt.Errorf("graphio: nil corpus")
+	}
+	enc := gob.NewEncoder(w)
+	hdr := corpusHeader{Magic: corpusMagic, Version: version, Person: c.Person}
+	for _, q := range c.Queries {
+		hdr.Queries = append(hdr.Queries, wireImageQuery{Person: q.Person, Entry: int32(q.Entry)})
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("graphio: encode corpus header: %w", err)
+	}
+	return encodeGraph(enc, c.Graph)
+}
+
+// ReadCorpus decodes an image corpus from r.
+func ReadCorpus(r io.Reader) (*graphgen.ImageCorpus, error) {
+	dec := gob.NewDecoder(r)
+	var hdr corpusHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("graphio: decode corpus header: %w", err)
+	}
+	if hdr.Magic != corpusMagic {
+		return nil, fmt.Errorf("graphio: bad corpus magic %q", hdr.Magic)
+	}
+	if hdr.Version != version {
+		return nil, fmt.Errorf("graphio: unsupported corpus version %d", hdr.Version)
+	}
+	g, err := decodeGraph(dec)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr.Person) != g.NumVertices() {
+		return nil, fmt.Errorf("graphio: %d person labels for %d vertices", len(hdr.Person), g.NumVertices())
+	}
+	c := &graphgen.ImageCorpus{Graph: g, Person: hdr.Person}
+	for _, q := range hdr.Queries {
+		if !g.Valid(graph.VertexID(q.Entry)) {
+			return nil, fmt.Errorf("graphio: corpus query entry %d invalid", q.Entry)
+		}
+		c.Queries = append(c.Queries, graphgen.ImageQuery{Person: q.Person, Entry: graph.VertexID(q.Entry)})
+	}
+	return c, nil
+}
+
+// WriteCorpusFile writes the corpus to path.
+func WriteCorpusFile(path string, c *graphgen.ImageCorpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteCorpus(w, c); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCorpusFile reads a corpus from path.
+func ReadCorpusFile(path string) (*graphgen.ImageCorpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpus(bufio.NewReaderSize(f, 1<<20))
+}

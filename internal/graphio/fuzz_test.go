@@ -1,0 +1,57 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+
+	"subtrav/internal/graph"
+)
+
+// FuzzRead asserts the graph decoder never panics on arbitrary bytes —
+// corrupt files must surface as errors.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoding plus mutations.
+	b := graph.NewBuilder(graph.Undirected, 4)
+	b.AddWeightedEdge(0, 1, 0.5)
+	b.AddEdge(2, 3)
+	b.SetVertexProps(0, graph.Properties{"k": graph.Int(7)})
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	if len(valid) > 10 {
+		truncated := valid[:len(valid)/2]
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded graphs must be internally consistent enough to scan.
+		for v := 0; v < g.NumVertices(); v++ {
+			_ = g.Neighbors(graph.VertexID(v))
+			_ = g.VertexBytes(graph.VertexID(v))
+		}
+	})
+}
+
+// FuzzReadCorpus is FuzzRead for the corpus container.
+func FuzzReadCorpus(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCorpus(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = c.Graph.NumVertices()
+	})
+}

@@ -1,0 +1,450 @@
+// Package live is the real-concurrency counterpart of internal/sim:
+// a goroutine per processing unit, channel-based task queues, a
+// semaphore-guarded "shared disk" whose access costs are paid as
+// scaled-down sleeps, and the same signature/affinity/scheduler
+// machinery as the simulator. It backs the TCP query service
+// (internal/service) — the paper's deployment shape, where the
+// scheduler and the traversal engines run as one always-on system
+// processing a live query stream.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subtrav/internal/affinity"
+	"subtrav/internal/cache"
+	"subtrav/internal/graph"
+	"subtrav/internal/sched"
+	"subtrav/internal/signature"
+	"subtrav/internal/sim"
+	"subtrav/internal/traverse"
+)
+
+// Config parameterizes a live runtime.
+type Config struct {
+	// NumUnits is the processing-unit (worker goroutine) count.
+	NumUnits int
+	// MemoryPerUnit is each unit's buffer budget (<= 0 unlimited).
+	MemoryPerUnit int64
+	// Cost is the virtual cost model; access costs are converted to
+	// real sleeps through TimeScale.
+	Cost sim.CostModel
+	// TimeScale compresses virtual costs into real time: a sleep of
+	// cost×TimeScale nanoseconds. The default 1e-3 turns a 2 ms
+	// virtual disk seek into a 2 µs pause — enough to create real
+	// contention without making the service crawl.
+	TimeScale float64
+	// BatchWindow is how long the dispatcher waits to accumulate a
+	// batch before scheduling it (default 200 µs).
+	BatchWindow time.Duration
+	// QueueCap bounds each unit's queue (default 64).
+	QueueCap int
+}
+
+func (c *Config) validate() error {
+	if c.NumUnits <= 0 {
+		return fmt.Errorf("live: NumUnits = %d, want > 0", c.NumUnits)
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1e-3
+	}
+	if c.TimeScale < 0 {
+		return fmt.Errorf("live: TimeScale = %g, want >= 0", c.TimeScale)
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueCap < 1 {
+		return fmt.Errorf("live: QueueCap = %d, want >= 1", c.QueueCap)
+	}
+	zero := sim.CostModel{}
+	if c.Cost == zero {
+		c.Cost = sim.DefaultCostModel()
+	}
+	return c.Cost.Validate()
+}
+
+// Response is the outcome of one submitted query.
+type Response struct {
+	Result traverse.Result
+	// Unit is the processing unit that executed the query.
+	Unit int32
+	// Wait and Exec are the real queueing and execution durations.
+	Wait time.Duration
+	Exec time.Duration
+	Err  error
+}
+
+// task is one in-flight query.
+type task struct {
+	id      int64
+	query   traverse.Query
+	submit  time.Time
+	started time.Time
+	done    chan Response
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("live: runtime closed")
+
+// Runtime is a running live deployment. Create with New, submit with
+// Submit or Do, stop with Close.
+type Runtime struct {
+	g    *graph.Graph
+	cfg  Config
+	sigs *signature.Table
+
+	units    []*liveUnit
+	diskSlot chan struct{}
+
+	mu      sync.Mutex
+	sched   sched.Scheduler
+	pending []*task
+	closed  bool
+	nextID  int64
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	completed atomic.Int64
+}
+
+// liveUnit is one worker goroutine's state.
+type liveUnit struct {
+	id     int32
+	buffer *cache.Cache // guarded by the worker goroutine only
+	queue  chan *task
+
+	queued atomic.Int32
+	busy   atomic.Bool
+
+	mu          sync.Mutex
+	completions []int64 // unix nanos, ascending
+}
+
+var _ sched.UnitState = (*liveUnit)(nil)
+
+// QueueLen implements sched.UnitState.
+func (u *liveUnit) QueueLen() int { return int(u.queued.Load()) }
+
+// Busy implements sched.UnitState.
+func (u *liveUnit) Busy() bool { return u.busy.Load() }
+
+// CompletedSince implements affinity.UnitView.
+func (u *liveUnit) CompletedSince(t int64) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	idx := sort.Search(len(u.completions), func(i int) bool { return u.completions[i] >= t })
+	return len(u.completions) - idx
+}
+
+// MemoryBudget implements affinity.UnitView.
+func (u *liveUnit) MemoryBudget() int64 { return u.buffer.Budget() }
+
+// New starts a runtime: NumUnits worker goroutines plus a dispatcher.
+// The scheduler's affinity scorer (if any) must be wired to this
+// runtime's signature table; use NewAuction for the common case.
+func New(g *graph.Graph, cfg Config, scheduler sched.Scheduler) (*Runtime, error) {
+	return newWithSigs(g, cfg, scheduler, signature.NewTable(0))
+}
+
+// NewAuction starts a runtime scheduled by the paper's auction policy
+// (SCH), with the affinity scorer wired to the runtime's signature
+// table and the wall clock.
+func NewAuction(g *graph.Graph, cfg Config, affCfg affinity.Config, epsilon float64) (*Runtime, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: graph is required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sigs := signature.NewTable(0)
+	scorer, err := affinity.NewScorer(g, sigs, signature.WallClock{}, affCfg)
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := sched.NewAuction(scorer, sched.AuctionConfig{
+		NumUnits:      cfg.NumUnits,
+		Epsilon:       epsilon,
+		WorkloadAware: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newWithSigs(g, cfg, scheduler, sigs)
+}
+
+func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *signature.Table) (*Runtime, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: graph is required")
+	}
+	if scheduler == nil {
+		return nil, fmt.Errorf("live: scheduler is required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		g:        g,
+		cfg:      cfg,
+		sigs:     sigs,
+		sched:    scheduler,
+		diskSlot: make(chan struct{}, maxInt(cfg.Cost.Disk.Channels, 1)),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.NumUnits; i++ {
+		u := &liveUnit{
+			id:     int32(i),
+			buffer: cache.New(cfg.MemoryPerUnit),
+			queue:  make(chan *task, cfg.QueueCap),
+		}
+		r.units = append(r.units, u)
+		r.wg.Add(1)
+		go r.worker(u)
+	}
+	r.wg.Add(1)
+	go r.dispatcher()
+	return r, nil
+}
+
+// Signatures returns the visit-signature table (for wiring scorers).
+func (r *Runtime) Signatures() *signature.Table { return r.sigs }
+
+// Completed returns the number of finished queries so far.
+func (r *Runtime) Completed() int64 { return r.completed.Load() }
+
+// UnitStats is a point-in-time snapshot of one unit's activity.
+type UnitStats struct {
+	Unit      int32
+	Queued    int
+	Busy      bool
+	Completed int
+}
+
+// Stats snapshots every unit's queue depth, busy flag and completion
+// count. (Cache counters are owned by the worker goroutines and are
+// not exposed while the runtime is hot.)
+func (r *Runtime) Stats() []UnitStats {
+	out := make([]UnitStats, len(r.units))
+	for i, u := range r.units {
+		u.mu.Lock()
+		completed := len(u.completions)
+		u.mu.Unlock()
+		out[i] = UnitStats{
+			Unit:      u.id,
+			Queued:    u.QueueLen(),
+			Busy:      u.Busy(),
+			Completed: completed,
+		}
+	}
+	return out
+}
+
+// Submit enqueues a query and returns a channel that will receive its
+// Response exactly once.
+func (r *Runtime) Submit(q traverse.Query) (<-chan Response, error) {
+	if err := q.Validate(r.g); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t := &task{id: r.nextID, query: q, submit: time.Now(), done: make(chan Response, 1)}
+	r.nextID++
+	r.pending = append(r.pending, t)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return t.done, nil
+}
+
+// Do submits a query and waits for its response.
+func (r *Runtime) Do(q traverse.Query) (Response, error) {
+	ch, err := r.Submit(q)
+	if err != nil {
+		return Response{}, err
+	}
+	return <-ch, nil
+}
+
+// Close drains in-flight work and stops all goroutines. Pending
+// queries are still executed; Submit after Close fails.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// dispatcher batches pending queries and runs scheduling rounds,
+// mirroring the Figure 6 flow on wall time.
+func (r *Runtime) dispatcher() {
+	defer r.wg.Done()
+	timer := time.NewTimer(r.cfg.BatchWindow)
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.stop:
+			// Final drain: schedule whatever is still pending.
+			r.dispatchBatch()
+			for _, u := range r.units {
+				close(u.queue)
+			}
+			return
+		case <-r.wake:
+			// Give the batch window a chance to accumulate peers.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(r.cfg.BatchWindow)
+			select {
+			case <-timer.C:
+			case <-r.stop:
+			}
+			r.dispatchBatch()
+		}
+	}
+}
+
+// dispatchBatch assigns up to NumUnits pending tasks per round until
+// the pending pool is empty.
+func (r *Runtime) dispatchBatch() {
+	for {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		n := len(r.units)
+		if n > len(r.pending) {
+			n = len(r.pending)
+		}
+		batch := r.pending[:n]
+		r.pending = r.pending[n:]
+		scheduler := r.sched
+		r.mu.Unlock()
+
+		stasks := make([]*sched.Task, len(batch))
+		for i, t := range batch {
+			stasks[i] = &sched.Task{ID: t.id, Query: t.query, Arrival: t.submit.UnixNano()}
+		}
+		units := make([]sched.UnitState, len(r.units))
+		for i, u := range r.units {
+			units[i] = u
+		}
+		placement := scheduler.Assign(stasks, units)
+		for i, t := range batch {
+			u := r.units[placement[i]]
+			u.queued.Add(1)
+			u.queue <- t // blocks if the unit is saturated: backpressure
+		}
+	}
+}
+
+// worker executes tasks on one unit, paying scaled access costs.
+func (r *Runtime) worker(u *liveUnit) {
+	defer r.wg.Done()
+	for t := range u.queue {
+		u.queued.Add(-1)
+		u.busy.Store(true)
+		t.started = time.Now()
+		resp := r.execute(u, t)
+		u.busy.Store(false)
+
+		now := time.Now().UnixNano()
+		u.mu.Lock()
+		u.completions = append(u.completions, now)
+		u.mu.Unlock()
+		r.completed.Add(1)
+		t.done <- resp
+	}
+}
+
+// execute runs the traversal and charges its access trace: buffer hits
+// accumulate a deferred sleep; misses hold a disk slot for the scaled
+// transfer time.
+func (r *Runtime) execute(u *liveUnit, t *task) Response {
+	result, trace, err := traverse.Execute(r.g, t.query)
+	if err != nil {
+		return Response{Unit: u.id, Err: err, Wait: t.started.Sub(t.submit)}
+	}
+	cost := &r.cfg.Cost
+	var inlineNanos int64
+	for _, a := range trace.Accesses {
+		key := liveKey(a)
+		if u.buffer.Contains(key) {
+			u.buffer.Access(key, int64(a.Bytes))
+			inlineNanos += cost.MemHitNanos + liveCPU(cost, a)
+			continue
+		}
+		// Miss: occupy one disk channel for the scaled service time.
+		service := cost.Disk.SeekNanos + int64(a.Bytes)*1_000_000_000/cost.Disk.BytesPerSecond
+		r.sleepScaled(service)
+		u.buffer.Access(key, int64(a.Bytes))
+		inlineNanos += liveCPU(cost, a) + int64(cost.CPUMissByteNanos*float64(a.Bytes))
+	}
+	r.sleepScaledNoSlot(inlineNanos)
+
+	now := time.Now()
+	for _, v := range trace.Touched {
+		r.sigs.Record(v, u.id, now.UnixNano())
+	}
+	return Response{
+		Result: result,
+		Unit:   u.id,
+		Wait:   t.started.Sub(t.submit),
+		Exec:   now.Sub(t.started),
+	}
+}
+
+// sleepScaled holds a disk slot while sleeping the scaled duration,
+// creating genuine cross-unit contention on the shared disk.
+func (r *Runtime) sleepScaled(virtualNanos int64) {
+	r.diskSlot <- struct{}{}
+	defer func() { <-r.diskSlot }()
+	r.sleepScaledNoSlot(virtualNanos)
+}
+
+func (r *Runtime) sleepScaledNoSlot(virtualNanos int64) {
+	d := time.Duration(float64(virtualNanos) * r.cfg.TimeScale)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func liveCPU(cost *sim.CostModel, a traverse.Access) int64 {
+	return cost.CPUVertexNanos + int64(a.ScannedEdges)*cost.CPUEdgeNanos
+}
+
+func liveKey(a traverse.Access) cache.Key {
+	return cache.VertexKey(int32(a.Vertex))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

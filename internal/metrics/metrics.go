@@ -1,0 +1,114 @@
+// Package metrics provides the small statistical helpers shared by
+// the simulator, the live runtime and the experiment harness:
+// quantiles, load-imbalance, and throughput arithmetic.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples using
+// nearest-rank on a sorted copy. It returns 0 for empty input.
+func Quantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(samples []int64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	return sum / float64(len(samples))
+}
+
+// Max returns the maximum, 0 for empty input.
+func Max(samples []int64) int64 {
+	var max int64
+	for i, s := range samples {
+		if i == 0 || s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// LatencySummary condenses a latency sample set.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// SummarizeLatencies computes the standard latency digest from
+// nanosecond samples.
+func SummarizeLatencies(nanos []int64) LatencySummary {
+	return LatencySummary{
+		Count: len(nanos),
+		Mean:  time.Duration(Mean(nanos)),
+		P50:   time.Duration(Quantile(nanos, 0.50)),
+		P95:   time.Duration(Quantile(nanos, 0.95)),
+		P99:   time.Duration(Quantile(nanos, 0.99)),
+		Max:   time.Duration(Max(nanos)),
+	}
+}
+
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		l.Count, l.Mean.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+}
+
+// Imbalance measures workload skew across units as max/mean of the
+// per-unit counts; 1.0 is perfect balance. Returns 0 when all counts
+// are zero.
+func Imbalance(perUnit []int64) float64 {
+	if len(perUnit) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, c := range perUnit {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(perUnit))
+	return float64(max) / mean
+}
+
+// Throughput converts a completed-task count over a virtual duration
+// to tasks/second. Returns 0 for non-positive durations.
+func Throughput(completed int64, makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(completed) / makespan.Seconds()
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	samples := []int64{50, 10, 40, 20, 30} // sorted: 10..50
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.2, 10}, {0.5, 30}, {0.8, 40}, {1, 50},
+		{-0.5, 10}, {1.5, 50}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	samples := []int64{3, 1, 2}
+	Quantile(samples, 0.5)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty mean/max should be 0")
+	}
+	s := []int64{1, 2, 3, 10}
+	if Mean(s) != 4 {
+		t.Errorf("Mean = %g, want 4", Mean(s))
+	}
+	if Max(s) != 10 {
+		t.Errorf("Max = %d, want 10", Max(s))
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	nanos := make([]int64, 100)
+	for i := range nanos {
+		nanos[i] = int64(i+1) * 1000
+	}
+	sum := SummarizeLatencies(nanos)
+	if sum.Count != 100 {
+		t.Errorf("Count = %d", sum.Count)
+	}
+	if sum.P50 != 50*time.Microsecond {
+		t.Errorf("P50 = %v", sum.P50)
+	}
+	if sum.P95 != 95*time.Microsecond {
+		t.Errorf("P95 = %v", sum.P95)
+	}
+	if sum.Max != 100*time.Microsecond {
+		t.Errorf("Max = %v", sum.Max)
+	}
+	if sum.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int64{10, 10, 10}); got != 1.0 {
+		t.Errorf("balanced = %g, want 1", got)
+	}
+	if got := Imbalance([]int64{30, 0, 0}); got != 3.0 {
+		t.Errorf("all-on-one = %g, want 3", got)
+	}
+	if Imbalance(nil) != 0 || Imbalance([]int64{0, 0}) != 0 {
+		t.Error("degenerate imbalance should be 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, time.Second); got != 100 {
+		t.Errorf("throughput = %g, want 100", got)
+	}
+	if got := Throughput(50, 500*time.Millisecond); got != 100 {
+		t.Errorf("throughput = %g, want 100", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Error("zero makespan should yield 0")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []int16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int64, len(raw))
+		for i, r := range raw {
+			samples[i] = int64(r)
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(samples, q1), Quantile(samples, q2)
+		return v1 <= v2 && v1 >= Quantile(samples, 0) && v2 <= Quantile(samples, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: imbalance is always >= 1 when any work exists.
+func TestImbalanceLowerBoundQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		perUnit := make([]int64, len(raw))
+		var sum int64
+		for i, r := range raw {
+			perUnit[i] = int64(r)
+			sum += int64(r)
+		}
+		im := Imbalance(perUnit)
+		if sum == 0 {
+			return im == 0
+		}
+		return im >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

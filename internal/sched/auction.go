@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"fmt"
+
+	"subtrav/internal/affinity"
+	"subtrav/internal/auction"
+)
+
+// AuctionConfig configures the paper's scheduler (named SCH in the
+// evaluation).
+type AuctionConfig struct {
+	// NumUnits is the fixed processing-unit count P.
+	NumUnits int
+	// Epsilon is the auction's minimum price increment.
+	Epsilon float64
+	// PriceDecay fades warm-started prices between rounds (see
+	// auction.AuctioneerConfig); 0 means no decay.
+	PriceDecay float64
+	// Parallel selects the goroutine-parallel Jacobi auction.
+	Parallel bool
+	// WorkloadAware applies the Eq. 4 reciprocal queue weighting;
+	// disabling it yields the affinity-only ablation.
+	WorkloadAware bool
+	// ColdScore, when positive, gives every task an additional arc to
+	// the currently least-loaded unit with affinity score ColdScore
+	// (Eq. 4-weighted like any other arc). It is the escape valve the
+	// paper leaves implicit: when a task's affinitive units are all
+	// deep in queue, an idle unit offering a cold cache becomes the
+	// better deal, which bounds queueing latency at light load.
+	// ColdScore calibrates how much of a perfect-affinity score an
+	// idle cold unit is worth (≈ warm/cold service-time ratio); 0
+	// disables the arc (paper-faithful behaviour).
+	ColdScore float64
+}
+
+// Auction is the balance-affinity scheduler of Sections IV-V. Each
+// Assign call runs the Figure 6 pipeline: it segments the batch to at
+// most P tasks (Algorithm 1 assigns at most one subgraph per unit per
+// auction), builds the workload-aware affinity matrix from the visit
+// signatures and current queue lengths, and runs the incremental
+// auction, warm-starting prices from previous rounds. Tasks whose
+// affinity row is empty (no unit above η) or that the auction leaves
+// unassigned fall back to the least-loaded unit.
+type Auction struct {
+	scorer     *affinity.Scorer
+	auctioneer *auction.Auctioneer
+	cfg        AuctionConfig
+	name       string
+
+	// stats
+	rounds        int
+	auctioned     int64
+	fellBack      int64
+	emptyRowTasks int64
+}
+
+// NewAuction builds the SCH scheduler.
+func NewAuction(scorer *affinity.Scorer, cfg AuctionConfig) (*Auction, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("sched: scorer is required")
+	}
+	if cfg.NumUnits <= 0 {
+		return nil, fmt.Errorf("sched: NumUnits = %d, want > 0", cfg.NumUnits)
+	}
+	auc, err := auction.NewAuctioneer(auction.AuctioneerConfig{
+		NumCols:    cfg.NumUnits,
+		Options:    auction.Options{Epsilon: cfg.Epsilon},
+		PriceDecay: cfg.PriceDecay,
+		Parallel:   cfg.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := "sch"
+	if !cfg.WorkloadAware {
+		name = "affinity-only"
+	}
+	return &Auction{scorer: scorer, auctioneer: auc, cfg: cfg, name: name}, nil
+}
+
+// Name implements Scheduler.
+func (a *Auction) Name() string { return a.name }
+
+// Assign implements Scheduler.
+func (a *Auction) Assign(tasks []*Task, units []UnitState) []int {
+	validateBatch(units)
+	if len(units) != a.cfg.NumUnits {
+		panic(fmt.Sprintf("sched: %d units, auction scheduler built for %d", len(units), a.cfg.NumUnits))
+	}
+	out := make([]int, len(tasks))
+	extra := make([]int, len(units))
+
+	for lo := 0; lo < len(tasks); lo += len(units) {
+		hi := lo + len(units)
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		a.assignSegment(tasks[lo:hi], units, extra, out[lo:hi])
+	}
+	return out
+}
+
+// assignSegment auctions one segment of at most P tasks.
+func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, out []int) {
+	a.rounds++
+
+	// Views that fold in the tasks already placed in this batch, so
+	// Eq. 4's w_p reflects in-flight placements.
+	views := make([]affinity.UnitView, len(units))
+	for i, u := range units {
+		views[i] = batchView{UnitState: u, extra: extra[i]}
+	}
+
+	matrix := a.scorer.BuildAnchors(batchAnchors(tasks), views)
+
+	if a.cfg.ColdScore > 0 {
+		a.addColdArcs(&matrix, units, extra, views)
+	}
+
+	problem := auction.Problem{NumCols: len(units), Rows: make([][]auction.Arc, len(tasks))}
+	for i, row := range matrix.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		arcs := make([]auction.Arc, len(row))
+		for k, e := range row {
+			benefit := e.Benefit
+			if !a.cfg.WorkloadAware {
+				// Ablation: undo Eq. 4 by restoring the raw decayed
+				// score (the Build weighting divides by w_p + ε̃).
+				benefit = e.Benefit * (float64(views[e.Unit].QueueLen()) + a.scorer.Config().EpsilonTilde)
+			}
+			arcs[k] = auction.Arc{Col: e.Unit, Benefit: benefit}
+		}
+		problem.Rows[i] = arcs
+	}
+
+	assignment, err := a.auctioneer.Assign(problem)
+	if err != nil {
+		// Cannot happen: the problem is built with matching NumCols
+		// and finite benefits. Fall back to balance-only placement.
+		for i := range tasks {
+			pick := leastLoadedIndex(units, extra)
+			out[i] = pick
+			extra[pick]++
+		}
+		return
+	}
+
+	for i := range tasks {
+		unit := assignment.RowToCol[i]
+		switch {
+		case unit >= 0:
+			a.auctioned++
+		case len(matrix.Rows[i]) > 0:
+			// The auction assigns at most one task per unit per
+			// segment; a task that lost its unit to a same-affinity
+			// sibling should still follow its data (the sibling will
+			// have warmed exactly the records it needs), so it queues
+			// on its best workload-weighted unit rather than
+			// scattering to the least-loaded one.
+			best := matrix.Rows[i][0]
+			for _, e := range matrix.Rows[i][1:] {
+				if e.Benefit > best.Benefit {
+					best = e
+				}
+			}
+			unit = best.Unit
+			a.fellBack++
+		default:
+			unit = leastLoadedIndex(units, extra)
+			a.emptyRowTasks++
+		}
+		out[i] = unit
+		extra[unit]++
+	}
+}
+
+// addColdArcs appends the cold-start escape arc (see
+// AuctionConfig.ColdScore) to every non-empty row that does not
+// already reach the least-loaded unit.
+func (a *Auction) addColdArcs(matrix *affinity.Matrix, units []UnitState, extra []int, views []affinity.UnitView) {
+	cold := leastLoadedIndex(units, extra)
+	benefit := a.cfg.ColdScore / (float64(views[cold].QueueLen()) + a.scorer.Config().EpsilonTilde)
+	for i, row := range matrix.Rows {
+		if len(row) == 0 {
+			continue // empty rows already fall back to least-loaded
+		}
+		present := false
+		for _, e := range row {
+			if e.Unit == cold {
+				present = true
+				break
+			}
+		}
+		if !present {
+			matrix.Rows[i] = append(row, affinity.Entry{Unit: cold, Benefit: benefit})
+		}
+	}
+}
+
+// batchView overlays in-batch placements on a live unit view.
+type batchView struct {
+	UnitState
+	extra int
+}
+
+func (b batchView) QueueLen() int { return b.UnitState.QueueLen() + b.extra }
+
+// Stats reports scheduler activity: auction rounds run, tasks placed
+// by the auction, contended tasks that followed their best-affinity
+// unit after losing the auction, and affinity-less tasks placed on the
+// least-loaded unit.
+func (a *Auction) Stats() (rounds int, auctioned, followedAffinity, emptyRows int64) {
+	return a.rounds, a.auctioned, a.fellBack, a.emptyRowTasks
+}
+
+// Prices exposes the incremental auctioneer's current dual prices.
+func (a *Auction) Prices() []float64 { return a.auctioneer.Prices() }

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+
+	"subtrav/internal/affinity"
+	"subtrav/internal/graph"
+	"subtrav/internal/signature"
+)
+
+func hierFixture(t *testing.T, units, groups int) (*Hierarchical, *signature.Table) {
+	t.Helper()
+	b := graph.NewBuilder(graph.Undirected, 32)
+	for i := 0; i < 31; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	g := b.Build()
+	sigs := signature.NewTable(0)
+	clock := &signature.ManualClock{}
+	scorer, err := affinity.NewScorer(g, sigs, clock, affinity.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHierarchical(scorer, HierarchicalConfig{NumUnits: units, NumGroups: groups, Epsilon: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, sigs
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	_, sigs := hierFixture(t, 4, 2)
+	_ = sigs
+	if _, err := NewHierarchical(nil, HierarchicalConfig{NumUnits: 4, NumGroups: 2}); err == nil {
+		t.Error("nil scorer accepted")
+	}
+	b := graph.NewBuilder(graph.Undirected, 2)
+	g := b.Build()
+	clock := &signature.ManualClock{}
+	scorer, err := affinity.NewScorer(g, signature.NewTable(0), clock, affinity.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHierarchical(scorer, HierarchicalConfig{NumUnits: 0, NumGroups: 1}); err == nil {
+		t.Error("zero units accepted")
+	}
+	if _, err := NewHierarchical(scorer, HierarchicalConfig{NumUnits: 4, NumGroups: 5}); err == nil {
+		t.Error("more groups than units accepted")
+	}
+	if _, err := NewHierarchical(scorer, HierarchicalConfig{NumUnits: 4, NumGroups: 0}); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestHierarchicalPlacesEveryTask(t *testing.T) {
+	h, _ := hierFixture(t, 8, 4)
+	units := mkUnits(8)
+	got := h.Assign(mkTasks(0, 5, 10, 15, 20, 25, 30), units)
+	if len(got) != 7 {
+		t.Fatalf("placements = %v", got)
+	}
+	for i, u := range got {
+		if u < 0 || u >= 8 {
+			t.Fatalf("task %d placed on invalid unit %d", i, u)
+		}
+	}
+	byAff, byLoad := h.RoutingStats()
+	if byAff+byLoad != 7 {
+		t.Errorf("routing stats %d+%d != 7", byAff, byLoad)
+	}
+	// Without signatures everything routes by load.
+	if byAff != 0 {
+		t.Errorf("affinity routing without signatures: %d", byAff)
+	}
+}
+
+func TestHierarchicalFollowsAffinityToGroup(t *testing.T) {
+	h, sigs := hierFixture(t, 8, 4) // groups: {0,1},{2,3},{4,5},{6,7}
+	// Unit 5 (group 2) visited vertex 10's neighborhood.
+	sigs.Record(9, 5, 1)
+	sigs.Record(10, 5, 1)
+	sigs.Record(11, 5, 1)
+	units := mkUnits(8)
+	got := h.Assign(mkTasks(10), units)
+	if got[0] != 5 {
+		t.Errorf("task placed on %d, want affinitive unit 5", got[0])
+	}
+	byAff, _ := h.RoutingStats()
+	if byAff != 1 {
+		t.Errorf("affinity routing count = %d", byAff)
+	}
+}
+
+func TestHierarchicalBalancesWithinGroup(t *testing.T) {
+	h, sigs := hierFixture(t, 4, 2) // groups {0,1}, {2,3}
+	// Both units of group 1 equally affinitive; unit 2 busy.
+	for _, p := range []int32{2, 3} {
+		sigs.Record(9, p, 1)
+		sigs.Record(10, p, 1)
+		sigs.Record(11, p, 1)
+	}
+	units := []UnitState{
+		&stubUnit{}, &stubUnit{},
+		&stubUnit{queue: 9}, &stubUnit{},
+	}
+	got := h.Assign(mkTasks(10), units)
+	if got[0] != 3 {
+		t.Errorf("task placed on %d, want idle group member 3", got[0])
+	}
+}
+
+func TestHierarchicalSingleGroupDegeneratesToAuction(t *testing.T) {
+	h, sigs := hierFixture(t, 4, 1)
+	sigs.Record(4, 2, 1)
+	sigs.Record(5, 2, 1)
+	sigs.Record(6, 2, 1)
+	units := mkUnits(4)
+	got := h.Assign(mkTasks(5), units)
+	if got[0] != 2 {
+		t.Errorf("single-group hierarchical placed on %d, want 2", got[0])
+	}
+}
+
+func TestHierarchicalLargeBatch(t *testing.T) {
+	h, sigs := hierFixture(t, 4, 2)
+	for v := graph.VertexID(0); v < 32; v++ {
+		sigs.Record(v, int32(v)%4, 1)
+	}
+	units := mkUnits(4)
+	starts := make([]graph.VertexID, 20)
+	for i := range starts {
+		starts[i] = graph.VertexID(i)
+	}
+	got := h.Assign(mkTasks(starts...), units)
+	counts := map[int]int{}
+	for _, u := range got {
+		counts[u]++
+	}
+	// 20 tasks over 4 units: no unit should be starved or flooded
+	// beyond 3x its fair share.
+	for u, c := range counts {
+		if c > 15 {
+			t.Errorf("unit %d flooded with %d tasks: %v", u, c, counts)
+		}
+	}
+	if len(counts) < 2 {
+		t.Errorf("all tasks on %d unit(s): %v", len(counts), counts)
+	}
+}
+
+func TestHierarchicalPanicsOnUnitMismatch(t *testing.T) {
+	h, _ := hierFixture(t, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	h.Assign(mkTasks(0), mkUnits(3))
+}

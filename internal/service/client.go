@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a pipelined TCP client: multiple goroutines may call Do
+// concurrently; requests share one connection and responses are
+// matched by ID.
+type Client struct {
+	conn net.Conn
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+
+	mu      sync.Mutex
+	pending map[uint64]chan Reply
+	nextID  uint64
+	err     error // terminal connection error
+	closed  bool
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan Reply),
+	}
+	go c.readLoop(gob.NewDecoder(conn))
+	return c, nil
+}
+
+func (c *Client) readLoop(dec *gob.Decoder) {
+	for {
+		var reply Reply
+		if err := dec.Decode(&reply); err != nil {
+			c.fail(fmt.Errorf("service: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reply.ID]
+		if ok {
+			delete(c.pending, reply.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- reply
+		}
+	}
+}
+
+// fail terminates every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan Reply)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Stats fetches runtime statistics from the server.
+func (c *Client) Stats() (Reply, error) {
+	return c.roundTrip(Request{Kind: KindStats})
+}
+
+// Do sends one query and waits for its reply. Server-side execution
+// errors come back inside the Reply's Err field as a non-nil error.
+func (c *Client) Do(q WireQuery) (Reply, error) {
+	return c.roundTrip(Request{Kind: KindQuery, Query: q})
+}
+
+func (c *Client) roundTrip(req Request) (Reply, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Reply{}, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return Reply{}, errors.New("service: client closed")
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan Reply, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req.ID = id
+	c.encMu.Lock()
+	err := c.enc.Encode(req)
+	c.encMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Reply{}, fmt.Errorf("service: send: %w", err)
+	}
+
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("service: connection closed")
+		}
+		return Reply{}, err
+	}
+	if reply.Err != "" {
+		return reply, fmt.Errorf("service: remote: %s", reply.Err)
+	}
+	return reply, nil
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(errors.New("service: client closed"))
+	return err
+}

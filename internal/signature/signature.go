@@ -1,0 +1,190 @@
+// Package signature implements the vertex visit-signature machinery of
+// Section IV-A: a global steady timer and, for each graph vertex v, a
+// short list L(v) of (timestamp, processor) pairs recording which
+// processing units recently visited v. The affinity scorer reads these
+// lists to decide whether a subgraph traversal is likely to find its
+// data cached on a given unit.
+package signature
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subtrav/internal/graph"
+)
+
+// Clock yields monotically non-decreasing timestamps in nanoseconds.
+// The discrete-event simulator supplies virtual time; the live runtime
+// supplies wall time.
+type Clock interface {
+	Now() int64
+}
+
+// WallClock reads the machine's monotonic clock.
+type WallClock struct{}
+
+// Now returns the current wall time in nanoseconds.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// ManualClock is an explicitly advanced clock, used by the simulator
+// and by tests. Safe for concurrent use.
+type ManualClock struct {
+	t atomic.Int64
+}
+
+// Now returns the current virtual time.
+func (c *ManualClock) Now() int64 { return c.t.Load() }
+
+// Set moves the clock to t; it never moves backwards.
+func (c *ManualClock) Set(t int64) {
+	for {
+		cur := c.t.Load()
+		if t <= cur || c.t.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Advance moves the clock forward by d nanoseconds and returns the new
+// time.
+func (c *ManualClock) Advance(d int64) int64 { return c.t.Add(d) }
+
+// Reset forcibly rewinds the clock to 0 — the one sanctioned backwards
+// move, used when a simulator reuses its clock across independent
+// runs. Never call it while readers are active.
+func (c *ManualClock) Reset() { c.t.Store(0) }
+
+// Entry is one visit record: processor proc touched the vertex at the
+// given timestamp.
+type Entry struct {
+	Time int64
+	Proc int32
+}
+
+// DefaultCapacity is the per-vertex signature list length suggested by
+// the paper ("the list can be kept short, say 10 entries per vertex").
+const DefaultCapacity = 10
+
+// Table stores the signature lists of all vertices. It is sharded and
+// safe for concurrent use: traversal engines record visits while the
+// scheduler reads affinities.
+type Table struct {
+	capacity int
+	shards   []shard
+	mask     uint32
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	lists map[graph.VertexID][]Entry
+}
+
+// NewTable creates a table keeping at most capacity entries per vertex
+// (DefaultCapacity if capacity <= 0).
+func NewTable(capacity int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	const numShards = 64 // power of two
+	t := &Table{capacity: capacity, shards: make([]shard, numShards), mask: numShards - 1}
+	for i := range t.shards {
+		t.shards[i].lists = make(map[graph.VertexID][]Entry)
+	}
+	return t
+}
+
+// Capacity returns the per-vertex entry limit.
+func (t *Table) Capacity() int { return t.capacity }
+
+func (t *Table) shardFor(v graph.VertexID) *shard {
+	return &t.shards[uint32(v)&t.mask]
+}
+
+// Record appends the visit (now, proc) to L(v), evicting the oldest
+// entry when the list is full. Timestamps are expected to be
+// non-decreasing per vertex (the clock is global and steady); the list
+// therefore stays ordered by time.
+func (t *Table) Record(v graph.VertexID, proc int32, now int64) {
+	s := t.shardFor(v)
+	s.mu.Lock()
+	list := s.lists[v]
+	if len(list) == t.capacity {
+		copy(list, list[1:])
+		list[len(list)-1] = Entry{Time: now, Proc: proc}
+	} else {
+		list = append(list, Entry{Time: now, Proc: proc})
+	}
+	s.lists[v] = list
+	s.mu.Unlock()
+}
+
+// VisitedBy reports whether proc appears in L(v) — the variant
+// Kronecker delta δ_{v,p} of Eq. 1.
+func (t *Table) VisitedBy(v graph.VertexID, proc int32) bool {
+	_, ok := t.LatestByProc(v, proc)
+	return ok
+}
+
+// LatestByProc returns the most recent timestamp at which proc visited
+// v, scanning L(v) newest-first.
+func (t *Table) LatestByProc(v graph.VertexID, proc int32) (int64, bool) {
+	s := t.shardFor(v)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.lists[v]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].Proc == proc {
+			return list[i].Time, true
+		}
+	}
+	return 0, false
+}
+
+// Visitors returns a copy of L(v), ordered oldest to newest.
+func (t *Table) Visitors(v graph.VertexID) []Entry {
+	s := t.shardFor(v)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.lists[v]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(list))
+	copy(out, list)
+	return out
+}
+
+// ForEachVisitor calls fn for every entry of L(v) without copying.
+// fn must not call back into the table.
+func (t *Table) ForEachVisitor(v graph.VertexID, fn func(Entry)) {
+	s := t.shardFor(v)
+	s.mu.RLock()
+	for _, e := range s.lists[v] {
+		fn(e)
+	}
+	s.mu.RUnlock()
+}
+
+// Len returns the total number of vertices with at least one
+// signature entry.
+func (t *Table) Len() int {
+	total := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		total += len(s.lists)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Reset drops all signature lists.
+func (t *Table) Reset() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.lists = make(map[graph.VertexID][]Entry)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"subtrav/internal/cache"
+	"subtrav/internal/graph"
+	"subtrav/internal/sched"
+	"subtrav/internal/signature"
+	"subtrav/internal/storage"
+	"subtrav/internal/traverse"
+)
+
+// Cluster is one simulated shared-disk deployment. Create it with
+// NewCluster, wire a scheduler (whose affinity scorer should read the
+// cluster's Signatures and Clock), then drive it with Run. A cluster
+// instance runs one workload; use Reset between repetitions.
+type Cluster struct {
+	g     *graph.Graph
+	cfg   Config
+	clock *signature.ManualClock
+	sigs  *signature.Table
+	disk  *storage.Disk
+	units []*unit
+
+	events  eventHeap
+	seq     int64
+	pending []*sched.Task
+	// sched is the active scheduler for the duration of Run.
+	sched sched.Scheduler
+	// tracer observes task lifecycle events (nil: disabled).
+	tracer Tracer
+
+	// OnComplete, when set, receives every finished task and its
+	// semantic result (used by examples and correctness tests).
+	OnComplete func(*sched.Task, traverse.Result)
+
+	// run accounting
+	firstArrival int64
+	lastComplete int64
+	completed    int64
+	visitedTotal int64
+	latencies    []int64
+	execNanos    []int64
+}
+
+// NewCluster builds a cluster over the given graph.
+func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sim: graph is required")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		g:            g,
+		cfg:          cfg,
+		clock:        &signature.ManualClock{},
+		sigs:         signature.NewTable(cfg.SignatureCap),
+		disk:         storage.NewDisk(cfg.Cost.Disk),
+		firstArrival: -1,
+	}
+	for i := 0; i < cfg.NumUnits; i++ {
+		speed := 1.0
+		if cfg.SpeedFactors != nil {
+			speed = cfg.SpeedFactors[i]
+		}
+		c.units = append(c.units, &unit{id: int32(i), buffer: cache.New(cfg.MemoryPerUnit), speed: speed})
+	}
+	return c, nil
+}
+
+// Graph returns the cluster's graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Signatures returns the vertex visit-signature table; affinity
+// scorers read it.
+func (c *Cluster) Signatures() *signature.Table { return c.sigs }
+
+// Clock returns the virtual clock; affinity scorers read it.
+func (c *Cluster) Clock() signature.Clock { return c.clock }
+
+// NumUnits returns P.
+func (c *Cluster) NumUnits() int { return c.cfg.NumUnits }
+
+// Reset clears all run state — queues, caches, signatures, disk
+// occupancy and statistics — keeping the configuration.
+func (c *Cluster) Reset() {
+	c.clock.Reset() // same clock object: scorers wired to it stay valid
+	c.sigs.Reset()
+	c.disk.Reset()
+	for _, u := range c.units {
+		u.buffer = cache.New(c.cfg.MemoryPerUnit)
+		u.queue = nil
+		u.cur = nil
+		u.completions = nil
+		u.busyNanos = 0
+	}
+	c.events = nil
+	c.seq = 0
+	c.pending = nil
+	c.firstArrival = -1
+	c.lastComplete = 0
+	c.completed = 0
+	c.visitedTotal = 0
+	c.latencies = nil
+	c.execNanos = nil
+}
+
+func (c *Cluster) push(e event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.events, e)
+}
+
+// Run injects the given tasks at their Arrival times, drives the
+// event loop to completion under the given scheduler, and returns the
+// run's measurements.
+func (c *Cluster) Run(s sched.Scheduler, tasks []*sched.Task) (Result, error) {
+	if s == nil {
+		return Result{}, fmt.Errorf("sim: scheduler is required")
+	}
+	c.sched = s
+	defer func() { c.sched = nil }()
+	for _, t := range tasks {
+		if err := t.Query.Validate(c.g); err != nil {
+			return Result{}, fmt.Errorf("sim: task %d: %w", t.ID, err)
+		}
+		if t.Arrival < 0 {
+			return Result{}, fmt.Errorf("sim: task %d has negative arrival %d", t.ID, t.Arrival)
+		}
+		c.push(event{time: t.Arrival, kind: evArrival, task: &taskState{task: t}})
+	}
+
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(event)
+		c.clock.Set(e.time)
+		switch e.kind {
+		case evArrival:
+			if c.firstArrival < 0 || e.time < c.firstArrival {
+				c.firstArrival = e.time
+			}
+			c.pending = append(c.pending, e.task.task)
+			c.dispatch(s, e.time)
+		case evStep:
+			c.step(c.units[e.unit], e.time)
+		}
+	}
+	if len(c.pending) > 0 {
+		return Result{}, fmt.Errorf("sim: %d tasks never dispatched (scheduler stalled)", len(c.pending))
+	}
+	return c.result(s), nil
+}
+
+// dispatch runs scheduling rounds while pending tasks exist and some
+// unit is below the dispatch depth target (Figure 6: fetch up to P
+// tasks, auction, dispatch to unit queues).
+func (c *Cluster) dispatch(s sched.Scheduler, now int64) {
+	for len(c.pending) > 0 && c.hasDispatchRoom() {
+		batch := len(c.units)
+		if batch > len(c.pending) {
+			batch = len(c.pending)
+		}
+		tasks := c.pending[:batch]
+		c.pending = c.pending[batch:]
+
+		units := make([]sched.UnitState, len(c.units))
+		for i, u := range c.units {
+			units[i] = u
+		}
+		placement := s.Assign(tasks, units)
+		for i, t := range tasks {
+			pick := placement[i]
+			if pick < 0 || pick >= len(c.units) {
+				panic(fmt.Sprintf("sim: scheduler %q placed task %d on unit %d of %d",
+					s.Name(), t.ID, pick, len(c.units)))
+			}
+			u := c.units[pick]
+			u.queue = append(u.queue, &taskState{task: t})
+			if c.tracer != nil {
+				c.tracer.TaskDispatched(t.ID, u.id, now)
+			}
+			if u.cur == nil {
+				c.startNext(u, now)
+			}
+		}
+	}
+}
+
+func (c *Cluster) hasDispatchRoom() bool {
+	for _, u := range c.units {
+		if u.effectiveLoad() < c.cfg.MaxQueuePerUnit {
+			return true
+		}
+	}
+	return false
+}
+
+// startNext pops the unit's FCFS queue and begins trace replay.
+func (c *Cluster) startNext(u *unit, now int64) {
+	ts := u.queue[0]
+	u.queue = u.queue[1:]
+	u.cur = ts
+	ts.start = now
+	u.lastStart = now
+	if c.tracer != nil {
+		c.tracer.TaskStarted(ts.task.ID, u.id, now)
+	}
+
+	// The set of records a traversal touches is timing-independent
+	// (see package traverse), so the trace is computed here and then
+	// replayed against the buffer and shared disk for its cost.
+	result, trace, err := traverse.Execute(c.g, ts.task.Query)
+	if err != nil {
+		// Queries are validated at Run entry; an error here is a bug.
+		panic(fmt.Sprintf("sim: traversal failed mid-run: %v", err))
+	}
+	ts.result = result
+	ts.trace = trace
+	c.step(u, now)
+}
+
+// step replays the unit's current trace from its cursor. Buffer hits
+// are consumed inline (they touch no shared resource); the first miss
+// at the current virtual instant issues one shared-disk read and
+// yields, so disk requests across units are serviced in causal order.
+func (c *Cluster) step(u *unit, now int64) {
+	ts := u.cur
+	cost := &c.cfg.Cost
+	tl := now
+	for ts.pos < len(ts.trace.Accesses) {
+		a := ts.trace.Accesses[ts.pos]
+		key := accessKey(a)
+		if u.buffer.Contains(key) {
+			u.buffer.Access(key, int64(a.Bytes))
+			tl += int64(float64(cost.MemHitNanos+cpuCost(cost, a)) * u.speed)
+			ts.pos++
+			continue
+		}
+		if tl > now {
+			// Hits consumed virtual time; realign before touching the
+			// shared disk so requests are issued in global time order.
+			c.push(event{time: tl, kind: evStep, unit: u.id})
+			return
+		}
+		done := c.disk.ReadPart(now, int64(a.Bytes), c.g.Partition(a.Vertex))
+		ts.misses++
+		u.buffer.Access(key, int64(a.Bytes))
+		// The paper updates L(v) as vertices are visited, so a miss
+		// signs the vertex immediately — concurrent scheduling rounds
+		// can already see the partially-built affinity.
+		c.sigs.Record(a.Vertex, u.id, now)
+		ts.pos++
+		localWork := float64(cpuCost(cost, a)) + cost.CPUMissByteNanos*float64(a.Bytes)
+		next := done + int64(localWork*u.speed)
+		c.push(event{time: next, kind: evStep, unit: u.id})
+		return
+	}
+	if tl > now {
+		c.push(event{time: tl, kind: evStep, unit: u.id})
+		return
+	}
+	c.complete(u, now)
+}
+
+// cpuCost charges the record processing plus the adjacency entries
+// scanned while holding it.
+func cpuCost(cost *CostModel, a traverse.Access) int64 {
+	return cost.CPUVertexNanos + int64(a.ScannedEdges)*cost.CPUEdgeNanos
+}
+
+func accessKey(a traverse.Access) cache.Key {
+	return cache.VertexKey(int32(a.Vertex))
+}
+
+// complete finishes the unit's current task: visit signatures are
+// recorded for every touched vertex (L(v) ← L(v) ∪ (t, p)), run
+// statistics are updated, and the next queued task starts.
+func (c *Cluster) complete(u *unit, now int64) {
+	ts := u.cur
+	u.cur = nil
+	for _, v := range ts.trace.Touched {
+		c.sigs.Record(v, u.id, now)
+	}
+	u.completions = append(u.completions, now)
+	u.busyNanos += now - ts.start
+	c.completed++
+	c.visitedTotal += int64(ts.result.Visited)
+	c.latencies = append(c.latencies, now-ts.task.Arrival)
+	c.execNanos = append(c.execNanos, now-ts.start)
+	if now > c.lastComplete {
+		c.lastComplete = now
+	}
+	if c.tracer != nil {
+		c.tracer.TaskCompleted(ts.task.ID, u.id, now, ts.misses)
+	}
+	if c.OnComplete != nil {
+		c.OnComplete(ts.task, ts.result)
+	}
+	if len(u.queue) > 0 {
+		c.startNext(u, now)
+	}
+	// A completion frees dispatch room; admit pending tasks.
+	if len(c.pending) > 0 && c.sched != nil {
+		c.dispatch(c.sched, now)
+	}
+}

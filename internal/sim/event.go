@@ -1,0 +1,43 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind uint8
+
+const (
+	// evArrival delivers one task into the pending pool.
+	evArrival eventKind = iota
+	// evStep resumes a unit's in-progress trace replay (typically
+	// right after a disk read completes).
+	evStep
+)
+
+type event struct {
+	time int64
+	seq  int64 // FIFO tie-break for identical timestamps → determinism
+	kind eventKind
+	unit int32 // evStep
+	task *taskState
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"sort"
+
+	"subtrav/internal/cache"
+	"subtrav/internal/sched"
+	"subtrav/internal/traverse"
+)
+
+// taskState is a task with its precomputed access trace and replay
+// cursor.
+type taskState struct {
+	task   *sched.Task
+	result traverse.Result
+	trace  *traverse.Trace
+	pos    int   // next access to replay
+	start  int64 // virtual time execution began
+	misses int   // shared-disk fetches so far
+}
+
+// unit is one processing unit: a private buffer, a FCFS queue, and at
+// most one executing task.
+type unit struct {
+	id     int32
+	buffer *cache.Cache
+	queue  []*taskState
+	cur    *taskState
+	// speed multiplies the unit's compute and hit costs (1 = nominal).
+	speed float64
+
+	// completions holds the virtual completion times of finished
+	// tasks, ascending — the basis of CompletedSince (Eq. 3's n').
+	completions []int64
+	busyNanos   int64
+	lastStart   int64
+}
+
+var _ sched.UnitState = (*unit)(nil)
+
+// QueueLen implements sched.UnitState: tasks allocated but not yet
+// executing (w_p and n_p of the paper).
+func (u *unit) QueueLen() int { return len(u.queue) }
+
+// Busy implements sched.UnitState.
+func (u *unit) Busy() bool { return u.cur != nil }
+
+// CompletedSince implements affinity.UnitView: the number of
+// traversals this unit finished at or after virtual time t.
+func (u *unit) CompletedSince(t int64) int {
+	idx := sort.Search(len(u.completions), func(i int) bool {
+		return u.completions[i] >= t
+	})
+	return len(u.completions) - idx
+}
+
+// MemoryBudget implements affinity.UnitView.
+func (u *unit) MemoryBudget() int64 { return u.buffer.Budget() }
+
+// effectiveLoad counts queued plus executing tasks.
+func (u *unit) effectiveLoad() int {
+	l := len(u.queue)
+	if u.cur != nil {
+		l++
+	}
+	return l
+}

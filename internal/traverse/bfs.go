@@ -1,0 +1,145 @@
+package traverse
+
+import "subtrav/internal/graph"
+
+// BFS runs a bounded-depth breadth-first search from q.Start,
+// expanding at most q.Depth hops and honoring vertex/edge predicates:
+// a vertex failing VertexPred is touched (its record must be loaded to
+// evaluate θ) but not expanded; an edge failing EdgePred is scanned
+// (inline in the source record, CPU only) but not followed.
+func BFS(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	type frontierItem struct {
+		v     graph.VertexID
+		depth int
+	}
+	queue := []frontierItem{{q.Start, 0}}
+	enqueued := map[graph.VertexID]bool{q.Start: true}
+	visited := 0
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		v := item.v
+
+		acc := trace.touchVertex(g, v, seen)
+		if q.VertexPred != nil && !q.VertexPred(g.VertexProps(v)) {
+			continue
+		}
+		visited++
+		if q.MaxVisits > 0 && visited >= q.MaxVisits {
+			break
+		}
+		if item.depth >= q.Depth {
+			continue
+		}
+		lo, hi := g.EdgeSlots(v)
+		trace.chargeScan(acc, int(hi-lo))
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			if enqueued[u] {
+				continue
+			}
+			enqueued[u] = true
+			queue = append(queue, frontierItem{u, item.depth + 1})
+		}
+	}
+	return Result{Visited: visited}, trace
+}
+
+// BoundedSSSP finds whether a path of length <= q.Depth connects
+// q.Start and q.Target by running two breadth-first frontiers, one
+// from each endpoint, each at most ceil(Depth/2) hops, until they
+// meet (Section II, example 1). PathLen is the exact shortest length
+// when Found and the search ran to completion.
+//
+// When q.MaxVisits > 0 the search gives up expanding once that many
+// vertices are labeled (throughput services bound hub explosions this
+// way); a capped search is best-effort — Found may be false for
+// connected pairs, and PathLen may exceed the true shortest length.
+func BoundedSSSP(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+
+	if q.Start == q.Target {
+		trace.touchVertex(g, q.Start, seen)
+		return Result{Visited: 1, Found: true, PathLen: 0}, trace
+	}
+
+	distA := map[graph.VertexID]int{q.Start: 0}
+	distB := map[graph.VertexID]int{q.Target: 0}
+	frontierA := []graph.VertexID{q.Start}
+	frontierB := []graph.VertexID{q.Target}
+	accA := map[graph.VertexID]int{q.Start: trace.touchVertex(g, q.Start, seen)}
+	accB := map[graph.VertexID]int{q.Target: trace.touchVertex(g, q.Target, seen)}
+	visited := 2
+	capped := false // MaxVisits reached: the search gives up expanding
+
+	limitA := (q.Depth + 1) / 2 // ceil(δ/2)
+	limitB := q.Depth / 2       // floor(δ/2); combined = δ
+	depthA, depthB := 0, 0
+	best := -1
+
+	expand := func(frontier []graph.VertexID, mine, other map[graph.VertexID]int, accIdx map[graph.VertexID]int, depth int) []graph.VertexID {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			if capped {
+				break
+			}
+			lo, hi := g.EdgeSlots(v)
+			trace.chargeScan(accIdx[v], int(hi-lo))
+			for s := lo; s < hi; s++ {
+				if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+					continue
+				}
+				u := g.TargetAt(s)
+				if _, ok := mine[u]; ok {
+					continue
+				}
+				mine[u] = depth + 1
+				accIdx[u] = trace.touchVertex(g, u, seen)
+				visited++
+				if d, ok := other[u]; ok {
+					total := depth + 1 + d
+					if best < 0 || total < best {
+						best = total
+					}
+					continue
+				}
+				if q.MaxVisits > 0 && visited >= q.MaxVisits {
+					capped = true
+					break
+				}
+				next = append(next, u)
+			}
+		}
+		return next
+	}
+
+	for !capped && ((depthA < limitA && len(frontierA) > 0) || (depthB < limitB && len(frontierB) > 0)) {
+		// Alternate sides, smaller frontier first, the usual
+		// bidirectional heuristic.
+		expandA := depthA < limitA && len(frontierA) > 0 &&
+			(depthB >= limitB || len(frontierB) == 0 || len(frontierA) <= len(frontierB))
+		if expandA {
+			frontierA = expand(frontierA, distA, distB, accA, depthA)
+			depthA++
+		} else {
+			frontierB = expand(frontierB, distB, distA, accB, depthB)
+			depthB++
+		}
+		if best >= 0 && best <= depthA+depthB {
+			// No shorter meeting can appear once both processed
+			// depths cover the best found length.
+			break
+		}
+	}
+	if best >= 0 && best <= q.Depth {
+		return Result{Visited: visited, Found: true, PathLen: best}, trace
+	}
+	return Result{Visited: visited, Found: false}, trace
+}

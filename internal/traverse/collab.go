@@ -1,0 +1,83 @@
+package traverse
+
+import (
+	"sort"
+
+	"subtrav/internal/graph"
+)
+
+// CollabFilter implements the naive collaborative filtering of
+// Section II, example 2: starting from product v, gather its buyers
+// U = Γ(v), then every other product v' bought by those buyers, and
+// recommend the v' whose similarity
+//
+//	s_{v,v'} = |Γ(v) ∩ Γ(v')| / min(|Γ(v)|, |Γ(v')|)
+//
+// exceeds q.SimilarityThreshold. The traversal is a two-hop BFS over
+// the customer-product bipartite graph.
+func CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	v := q.Start
+	vAcc := trace.touchVertex(g, v, seen)
+	visited := 1
+
+	// Hop 1: buyers of v.
+	buyers := make(map[graph.VertexID]bool)
+	buyerAcc := make(map[graph.VertexID]int)
+	lo, hi := g.EdgeSlots(v)
+	trace.chargeScan(vAcc, int(hi-lo))
+	for s := lo; s < hi; s++ {
+		u := g.TargetAt(s)
+		if !buyers[u] {
+			buyers[u] = true
+			buyerAcc[u] = trace.touchVertex(g, u, seen)
+			visited++
+		}
+	}
+	degV := len(buyers)
+	if degV == 0 {
+		return Result{Visited: visited}, trace
+	}
+
+	// Hop 2: co-purchased products, counting shared buyers.
+	shared := make(map[graph.VertexID]int)
+	for u := range buyers {
+		ulo, uhi := g.EdgeSlots(u)
+		trace.chargeScan(buyerAcc[u], int(uhi-ulo))
+		for s := ulo; s < uhi; s++ {
+			p := g.TargetAt(s)
+			if p == v {
+				continue
+			}
+			if shared[p] == 0 {
+				trace.touchVertex(g, p, seen)
+				visited++
+			}
+			shared[p]++
+		}
+	}
+
+	var recs []Recommendation
+	for p, count := range shared {
+		degP := g.Degree(p)
+		minDeg := degV
+		if degP < minDeg {
+			minDeg = degP
+		}
+		if minDeg == 0 {
+			continue
+		}
+		sim := float64(count) / float64(minDeg)
+		if sim > q.SimilarityThreshold {
+			recs = append(recs, Recommendation{Product: p, Similarity: sim})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Similarity != recs[j].Similarity {
+			return recs[i].Similarity > recs[j].Similarity
+		}
+		return recs[i].Product < recs[j].Product
+	})
+	return Result{Visited: visited, Recommendations: recs}, trace
+}

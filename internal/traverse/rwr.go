@@ -1,0 +1,90 @@
+package traverse
+
+import (
+	"sort"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/xrand"
+)
+
+// RandomWalk implements local random walk with restart (Section II,
+// example 3): a particle starts at q.Start (the corpus image the query
+// mapped to), and at each step either restarts with probability
+// q.RestartProb or moves to a neighbor u with probability
+// s_{v,u}/Z, where s is the edge similarity weight and Z normalizes
+// over the restart target's similarity and the neighborhood (the
+// paper's formulation). Visit frequencies over q.Steps steps score
+// vertices; the top q.TopK (excluding the start) are returned as the
+// refined matches.
+//
+// The walk is deterministic given q.Seed.
+func RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	rng := xrand.New(q.Seed)
+
+	start := q.Start
+	lastAcc := trace.touchVertex(g, start, seen)
+	counts := make(map[graph.VertexID]int)
+	cur := start
+	visited := 1
+
+	for step := 0; step < q.Steps; step++ {
+		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
+			cur = start
+			// Restart revisits the cached start record.
+			lastAcc = trace.touchVertex(g, start, seen)
+			continue
+		}
+		lo, hi := g.EdgeSlots(cur)
+		if hi == lo {
+			cur = start // dead end: restart
+			lastAcc = trace.touchVertex(g, start, seen)
+			continue
+		}
+		// Normalizer Z over the incident similarities (edge weights
+		// are inline in the current record: CPU only).
+		trace.chargeScan(lastAcc, int(hi-lo))
+		var z float64
+		for s := lo; s < hi; s++ {
+			z += float64(g.Weight(g.LogicalEdge(s)))
+		}
+		if z <= 0 {
+			cur = start
+			continue
+		}
+		pick := rng.Float64() * z
+		next := g.TargetAt(hi - 1)
+		for s := lo; s < hi; s++ {
+			pick -= float64(g.Weight(g.LogicalEdge(s)))
+			if pick <= 0 {
+				next = g.TargetAt(s)
+				break
+			}
+		}
+		cur = next
+		if !seen[cur] {
+			visited++
+		}
+		lastAcc = trace.touchVertex(g, cur, seen)
+		counts[cur]++
+	}
+
+	ranking := make([]Ranked, 0, len(counts))
+	for v, c := range counts {
+		if v == start {
+			continue
+		}
+		ranking = append(ranking, Ranked{Vertex: v, Score: float64(c) / float64(q.Steps)})
+	}
+	sort.Slice(ranking, func(i, j int) bool {
+		if ranking[i].Score != ranking[j].Score {
+			return ranking[i].Score > ranking[j].Score
+		}
+		return ranking[i].Vertex < ranking[j].Vertex
+	})
+	if q.TopK > 0 && len(ranking) > q.TopK {
+		ranking = ranking[:q.TopK]
+	}
+	return Result{Visited: visited, Ranking: ranking}, trace
+}

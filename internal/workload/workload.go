@@ -1,0 +1,254 @@
+// Package workload synthesizes the concurrent query streams of the
+// paper's evaluation: batches or Poisson streams of subgraph traversal
+// tasks whose start vertices exhibit *locality* — concurrent queries
+// landing in overlapping neighborhoods, the overlap that gives
+// affinity scheduling its advantage (Figure 2).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/sched"
+	"subtrav/internal/traverse"
+	"subtrav/internal/xrand"
+)
+
+// Arrival selects the arrival process.
+type Arrival uint8
+
+const (
+	// Batch delivers every query at virtual time 0: the closed-loop
+	// saturation measurement behind the paper's throughput figures.
+	Batch Arrival = iota
+	// Poisson delivers queries as an open stream with exponential
+	// inter-arrival gaps at RatePerSec.
+	Poisson
+)
+
+// Locality shapes the start-vertex distribution.
+type Locality struct {
+	// NumHotspots is the number of anchor vertices around which
+	// queries cluster. 0 disables clustering (uniform starts).
+	NumHotspots int
+	// HotFraction is the probability a query starts near an anchor
+	// rather than uniformly at random.
+	HotFraction float64
+	// WalkHops bounds the random walk from the anchor that picks the
+	// actual start (so clustered queries overlap without being
+	// identical).
+	WalkHops int
+	// HotspotSkew makes hotspot popularity uneven: anchor k is chosen
+	// with weight (k+1)^-HotspotSkew (Zipf-like). 0 keeps hotspots
+	// uniformly popular. Skewed streams stress the balance half of
+	// the balance-affinity tradeoff: pure affinity routing piles the
+	// popular hotspot's queries onto one unit.
+	HotspotSkew float64
+}
+
+// DefaultLocality gives a moderately clustered stream: four out of
+// five queries land within two hops of one of 32 hotspots.
+func DefaultLocality() Locality {
+	return Locality{NumHotspots: 32, HotFraction: 0.8, WalkHops: 2}
+}
+
+// StreamConfig configures a query stream.
+type StreamConfig struct {
+	NumQueries int
+	Seed       uint64
+	Arrival    Arrival
+	// RatePerSec is the Poisson arrival rate (ignored for Batch).
+	RatePerSec float64
+	Locality   Locality
+}
+
+// Validate checks the configuration.
+func (c StreamConfig) Validate() error {
+	if c.NumQueries <= 0 {
+		return fmt.Errorf("workload: NumQueries = %d, want > 0", c.NumQueries)
+	}
+	if c.Arrival == Poisson && c.RatePerSec <= 0 {
+		return fmt.Errorf("workload: Poisson arrivals need RatePerSec > 0, got %g", c.RatePerSec)
+	}
+	if c.Locality.HotFraction < 0 || c.Locality.HotFraction > 1 {
+		return fmt.Errorf("workload: HotFraction = %g, want [0,1]", c.Locality.HotFraction)
+	}
+	if c.Locality.HotspotSkew < 0 {
+		return fmt.Errorf("workload: HotspotSkew = %g, want >= 0", c.Locality.HotspotSkew)
+	}
+	return nil
+}
+
+// starts generates NumQueries start vertices with the configured
+// locality structure.
+func (c StreamConfig) starts(g *graph.Graph, rng *xrand.RNG) []graph.VertexID {
+	n := g.NumVertices()
+	anchors := make([]graph.VertexID, 0, c.Locality.NumHotspots)
+	for i := 0; i < c.Locality.NumHotspots; i++ {
+		anchors = append(anchors, graph.VertexID(rng.Intn(n)))
+	}
+	var anchorPick *xrand.Alias
+	if len(anchors) > 0 && c.Locality.HotspotSkew > 0 {
+		weights := make([]float64, len(anchors))
+		for k := range weights {
+			weights[k] = math.Pow(float64(k+1), -c.Locality.HotspotSkew)
+		}
+		anchorPick = xrand.NewAlias(weights)
+	}
+	out := make([]graph.VertexID, c.NumQueries)
+	for i := range out {
+		if len(anchors) > 0 && rng.Float64() < c.Locality.HotFraction {
+			var v graph.VertexID
+			if anchorPick != nil {
+				v = anchors[anchorPick.Sample(rng)]
+			} else {
+				v = anchors[rng.Intn(len(anchors))]
+			}
+			hops := 0
+			if c.Locality.WalkHops > 0 {
+				hops = rng.Intn(c.Locality.WalkHops + 1)
+			}
+			out[i] = randomWalkFrom(g, v, hops, rng)
+		} else {
+			out[i] = graph.VertexID(rng.Intn(n))
+		}
+	}
+	return out
+}
+
+// randomWalkFrom walks up to hops steps from v, stopping at dead ends.
+func randomWalkFrom(g *graph.Graph, v graph.VertexID, hops int, rng *xrand.RNG) graph.VertexID {
+	cur := v
+	for h := 0; h < hops; h++ {
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			break
+		}
+		cur = ns[rng.Intn(len(ns))]
+	}
+	return cur
+}
+
+// arrivals generates monotone arrival timestamps per the configured
+// process.
+func (c StreamConfig) arrivals(rng *xrand.RNG) []int64 {
+	out := make([]int64, c.NumQueries)
+	if c.Arrival == Batch {
+		return out
+	}
+	meanGapNanos := 1e9 / c.RatePerSec
+	var t float64
+	for i := range out {
+		t += rng.ExpFloat64() * meanGapNanos
+		out[i] = int64(t)
+	}
+	return out
+}
+
+// tasks assembles tasks from per-query queries and arrivals.
+func tasks(queries []traverse.Query, arrivals []int64) []*sched.Task {
+	out := make([]*sched.Task, len(queries))
+	for i := range queries {
+		out[i] = &sched.Task{ID: int64(i), Query: queries[i], Arrival: arrivals[i]}
+	}
+	return out
+}
+
+// BFS builds a stream of bounded-depth BFS queries (the paper's first
+// application: neighborhood interaction analysis).
+func BFS(g *graph.Graph, cfg StreamConfig, depth, maxVisits int) ([]*sched.Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("workload: BFS depth = %d, want >= 0", depth)
+	}
+	rng := xrand.New(cfg.Seed)
+	starts := cfg.starts(g, rng)
+	queries := make([]traverse.Query, cfg.NumQueries)
+	for i, v := range starts {
+		queries[i] = traverse.Query{Op: traverse.OpBFS, Start: v, Depth: depth, MaxVisits: maxVisits}
+	}
+	return tasks(queries, cfg.arrivals(rng)), nil
+}
+
+// SSSP builds a stream of bounded-length shortest-path queries. The
+// target of each query is the endpoint of a `bound`-step random walk
+// from the start, so a path within the bound usually exists — queries
+// that mostly fail immediately would not exercise the traversal.
+// maxVisits caps each search's labeled vertices (0 = unbounded).
+func SSSP(g *graph.Graph, cfg StreamConfig, bound, maxVisits int) ([]*sched.Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if bound <= 0 {
+		return nil, fmt.Errorf("workload: SSSP bound = %d, want > 0", bound)
+	}
+	rng := xrand.New(cfg.Seed)
+	starts := cfg.starts(g, rng)
+	queries := make([]traverse.Query, cfg.NumQueries)
+	for i, v := range starts {
+		target := randomWalkFrom(g, v, bound, rng)
+		queries[i] = traverse.Query{Op: traverse.OpSSSP, Start: v, Target: target, Depth: bound, MaxVisits: maxVisits}
+	}
+	return tasks(queries, cfg.arrivals(rng)), nil
+}
+
+// Collab builds a stream of collaborative-filtering queries over a
+// customer-product graph. Query products are drawn proportionally to
+// their popularity (degree), mirroring real recommendation traffic
+// and creating natural overlap on hot products.
+func Collab(pg *graphgen.PurchaseGraph, cfg StreamConfig, threshold float64) ([]*sched.Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("workload: similarity threshold = %g, want [0,1]", threshold)
+	}
+	rng := xrand.New(cfg.Seed)
+	weights := make([]float64, pg.NumProducts)
+	for p := 0; p < pg.NumProducts; p++ {
+		weights[p] = float64(pg.Graph.Degree(pg.ProductVertex(p)) + 1)
+	}
+	sampler := xrand.NewAlias(weights)
+	queries := make([]traverse.Query, cfg.NumQueries)
+	for i := range queries {
+		queries[i] = traverse.Query{
+			Op:                  traverse.OpCollab,
+			Start:               pg.ProductVertex(sampler.Sample(rng)),
+			SimilarityThreshold: threshold,
+		}
+	}
+	return tasks(queries, cfg.arrivals(rng)), nil
+}
+
+// ImageSearch builds a stream of RWR re-ranking queries from the image
+// corpus's held-out query set (Section II, example 3). Queries inherit
+// the corpus's person-cluster locality.
+func ImageSearch(corpus *graphgen.ImageCorpus, cfg StreamConfig, steps int, restartProb float64, topK int) ([]*sched.Task, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(corpus.Queries) == 0 {
+		return nil, fmt.Errorf("workload: corpus has no held-out queries")
+	}
+	if steps <= 0 || restartProb < 0 || restartProb >= 1 {
+		return nil, fmt.Errorf("workload: RWR steps=%d restart=%g invalid", steps, restartProb)
+	}
+	rng := xrand.New(cfg.Seed)
+	queries := make([]traverse.Query, cfg.NumQueries)
+	for i := range queries {
+		q := corpus.Queries[rng.Intn(len(corpus.Queries))]
+		queries[i] = traverse.Query{
+			Op:          traverse.OpRWR,
+			Start:       q.Entry,
+			Steps:       steps,
+			RestartProb: restartProb,
+			TopK:        topK,
+			Seed:        rng.Uint64(),
+		}
+	}
+	return tasks(queries, cfg.arrivals(rng)), nil
+}

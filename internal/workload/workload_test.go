@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"testing"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/traverse"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: 2000, NumEdges: 8000, Exponent: 2.2,
+		Kind: graph.Undirected, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSStreamBasics(t *testing.T) {
+	g := testGraph(t)
+	tasks, err := BFS(g, StreamConfig{NumQueries: 100, Seed: 2, Locality: DefaultLocality()}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 100 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	for i, task := range tasks {
+		if task.ID != int64(i) {
+			t.Fatalf("task %d has ID %d", i, task.ID)
+		}
+		if task.Arrival != 0 {
+			t.Fatalf("batch arrival = %d, want 0", task.Arrival)
+		}
+		if err := task.Query.Validate(g); err != nil {
+			t.Fatalf("task %d invalid: %v", i, err)
+		}
+		if task.Query.Op != traverse.OpBFS || task.Query.Depth != 2 {
+			t.Fatalf("task %d wrong query: %+v", i, task.Query)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	g := testGraph(t)
+	cfg := StreamConfig{NumQueries: 50, Seed: 7, Locality: DefaultLocality()}
+	a, err := BFS(g, cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BFS(g, cfg, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Query.Start != b[i].Query.Start {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestLocalityClustersStarts(t *testing.T) {
+	g := testGraph(t)
+	clustered, err := BFS(g, StreamConfig{
+		NumQueries: 500, Seed: 3,
+		Locality: Locality{NumHotspots: 4, HotFraction: 1.0, WalkHops: 1},
+	}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := BFS(g, StreamConfig{NumQueries: 500, Seed: 3}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSet := map[graph.VertexID]bool{}
+	for _, task := range clustered {
+		cSet[task.Query.Start] = true
+	}
+	uSet := map[graph.VertexID]bool{}
+	for _, task := range uniform {
+		uSet[task.Query.Start] = true
+	}
+	if len(cSet) >= len(uSet)/3 {
+		t.Errorf("clustered stream has %d distinct starts vs uniform %d: not clustered enough", len(cSet), len(uSet))
+	}
+}
+
+func TestPoissonArrivalsMonotone(t *testing.T) {
+	g := testGraph(t)
+	tasks, err := BFS(g, StreamConfig{
+		NumQueries: 200, Seed: 5, Arrival: Poisson, RatePerSec: 1000,
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, task := range tasks {
+		if task.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = task.Arrival
+	}
+	// Mean gap ≈ 1ms: the 200th arrival should land around 200ms.
+	last := tasks[len(tasks)-1].Arrival
+	if last < 100_000_000 || last > 400_000_000 {
+		t.Errorf("last arrival %d ns, want ≈200ms", last)
+	}
+}
+
+func TestSSSPTargetsUsuallyReachable(t *testing.T) {
+	g := testGraph(t)
+	tasks, err := SSSP(g, StreamConfig{NumQueries: 100, Seed: 9, Locality: DefaultLocality()}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, task := range tasks {
+		r, _, err := traverse.Execute(g, task.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Found {
+			found++
+		}
+	}
+	if found < 80 {
+		t.Errorf("only %d/100 SSSP queries found a path; walk-based targets should mostly connect", found)
+	}
+}
+
+func TestCollabStream(t *testing.T) {
+	pg, err := graphgen.Purchases(graphgen.PurchaseConfig{
+		NumCustomers: 300, NumProducts: 60,
+		PurchasesPerCustomerMean: 4, PopularityExponent: 2.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := Collab(pg, StreamConfig{NumQueries: 200, Seed: 13}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[graph.VertexID]int{}
+	for _, task := range tasks {
+		if !pg.IsProduct(task.Query.Start) {
+			t.Fatal("collab query must start at a product")
+		}
+		counts[task.Query.Start]++
+	}
+	// Popularity weighting: the hottest product should be queried far
+	// more often than an average one.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*200/60 {
+		t.Errorf("max product query count %d shows no popularity skew", max)
+	}
+}
+
+func TestImageSearchStream(t *testing.T) {
+	corpus, err := graphgen.Images(graphgen.ImageCorpusConfig{
+		NumPersons: 10, ImagesPerPersonMin: 5, ImagesPerPersonMax: 8,
+		DescriptorDim: 8, IntraNoise: 0.2, KNN: 4, CrossCandidates: 5,
+		NumPartitions: 2, NumQueries: 50, PhotoBytesMin: 1000, PhotoBytesMax: 2000, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := ImageSearch(corpus, StreamConfig{NumQueries: 80, Seed: 19}, 200, 0.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if err := task.Query.Validate(corpus.Graph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Per-query RWR seeds must differ (independent walks).
+	seeds := map[uint64]bool{}
+	for _, task := range tasks {
+		seeds[task.Query.Seed] = true
+	}
+	if len(seeds) < 70 {
+		t.Errorf("only %d distinct RWR seeds across 80 queries", len(seeds))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := BFS(g, StreamConfig{NumQueries: 0}, 1, 0); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := BFS(g, StreamConfig{NumQueries: 1, Arrival: Poisson}, 1, 0); err == nil {
+		t.Error("poisson without rate accepted")
+	}
+	if _, err := BFS(g, StreamConfig{NumQueries: 1, Locality: Locality{HotFraction: 2}}, 1, 0); err == nil {
+		t.Error("bad hot fraction accepted")
+	}
+	if _, err := BFS(g, StreamConfig{NumQueries: 1}, -1, 0); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := SSSP(g, StreamConfig{NumQueries: 1}, 0, 0); err == nil {
+		t.Error("zero bound accepted")
+	}
+}
+
+func TestSkewedHotspots(t *testing.T) {
+	g := testGraph(t)
+	tasks, err := BFS(g, StreamConfig{
+		NumQueries: 600, Seed: 21,
+		Locality: Locality{NumHotspots: 8, HotFraction: 1.0, WalkHops: 0, HotspotSkew: 1.5},
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[graph.VertexID]int{}
+	for _, task := range tasks {
+		counts[task.Query.Start]++
+	}
+	// With WalkHops 0 and full hot fraction, starts are exactly the
+	// anchors; skew 1.5 should make the hottest anchor dominate.
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total != 600 {
+		t.Fatalf("total = %d", total)
+	}
+	if float64(max)/float64(total) < 0.3 {
+		t.Errorf("hottest anchor got %d/%d queries; skew ineffective", max, total)
+	}
+	if _, err := BFS(g, StreamConfig{NumQueries: 1, Locality: Locality{HotspotSkew: -1}}, 1, 0); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+func TestCollabValidation(t *testing.T) {
+	pg, err := graphgen.Purchases(graphgen.PurchaseConfig{
+		NumCustomers: 50, NumProducts: 10,
+		PurchasesPerCustomerMean: 2, PopularityExponent: 2.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collab(pg, StreamConfig{NumQueries: 1}, 1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := Collab(pg, StreamConfig{NumQueries: 0}, 0.5); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestImageSearchValidation(t *testing.T) {
+	corpus, err := graphgen.Images(graphgen.ImageCorpusConfig{
+		NumPersons: 4, ImagesPerPersonMin: 3, ImagesPerPersonMax: 4,
+		DescriptorDim: 8, IntraNoise: 0.1, KNN: 2, CrossCandidates: 2,
+		NumPartitions: 1, NumQueries: 5, PhotoBytesMin: 100, PhotoBytesMax: 200, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImageSearch(corpus, StreamConfig{NumQueries: 3}, 0, 0.2, 5); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := ImageSearch(corpus, StreamConfig{NumQueries: 3}, 10, 1.0, 5); err == nil {
+		t.Error("restart prob 1.0 accepted")
+	}
+	empty := &graphgen.ImageCorpus{Graph: corpus.Graph, Person: corpus.Person}
+	if _, err := ImageSearch(empty, StreamConfig{NumQueries: 3}, 10, 0.2, 5); err == nil {
+		t.Error("corpus without queries accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds collided %d/64 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	for i := 0; i < 32; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatal("split children should not be identical streams")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	var sum, sumSq float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	var sum float64
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("exponential variate %g < 0", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %g, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 36 {
+		t.Errorf("shuffle changed contents, sum=%d", sum)
+	}
+}
+
+func TestAliasUniform(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1})
+	r := New(29)
+	counts := make([]int, 4)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("outcome %d frequency %g, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestAliasSkewed(t *testing.T) {
+	a := NewAlias([]float64{9, 1})
+	r := New(31)
+	counts := make([]int, 2)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	frac := float64(counts[0]) / n
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("heavy outcome frequency %g, want ~0.9", frac)
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := NewAlias([]float64{1, 0, 1})
+	r := New(37)
+	for i := 0; i < 10_000; i++ {
+		if a.Sample(r) == 1 {
+			t.Fatal("zero-weight outcome was sampled")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"all-zero": {0, 0},
+		"negative": {1, -1},
+		"nan":      {1, math.NaN()},
+		"inf":      {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%s) should panic", name)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}
+
+// Property: alias sampling frequencies converge to the normalized
+// weights for arbitrary weight vectors.
+func TestAliasMatchesWeightsQuick(t *testing.T) {
+	f := func(raw []uint8, seed uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, w := range raw {
+			weights[i] = float64(w)
+			sum += float64(w)
+		}
+		if sum == 0 {
+			return true
+		}
+		a := NewAlias(weights)
+		r := New(seed)
+		const n = 40_000
+		counts := make([]int, len(weights))
+		for i := 0; i < n; i++ {
+			counts[a.Sample(r)]++
+		}
+		for i := range weights {
+			want := weights[i] / sum
+			got := float64(counts[i]) / n
+			if math.Abs(got-want) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
