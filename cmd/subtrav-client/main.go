@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,9 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "concurrent in-flight queries")
 		seed        = flag.Uint64("seed", 1, "random seed for start vertices")
 		vertexRange = flag.Int("vertices", 20000, "random start range when -start=-1")
+		timeout     = flag.Duration("timeout", 0, "per-query server-side deadline (0 = none)")
+		retries     = flag.Int("retries", 4, "attempts per query when the server rejects under backpressure")
+		retryBase   = flag.Duration("retry-base", time.Millisecond, "base delay of the jittered exponential backoff")
 	)
 	flag.Parse()
 
@@ -66,11 +70,13 @@ func main() {
 		}
 	}
 
+	policy := service.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		lats     []int64
 		failures atomic.Int64
+		timeouts atomic.Int64
 		visited  atomic.Int64
 	)
 	sem := make(chan struct{}, *concurrency)
@@ -82,9 +88,13 @@ func main() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			reply, err := client.Do(q)
+			reply, err := client.DoRetry(q, *timeout, policy)
 			if err != nil {
-				failures.Add(1)
+				if errors.Is(err, service.ErrDeadline) {
+					timeouts.Add(1)
+				} else {
+					failures.Add(1)
+				}
 				return
 			}
 			visited.Add(int64(reply.Visited))
@@ -97,14 +107,16 @@ func main() {
 	elapsed := time.Since(begin)
 
 	ok := int64(len(lats))
-	fmt.Printf("queries: %d ok, %d failed in %v → %.1f q/s\n",
-		ok, failures.Load(), elapsed.Round(time.Millisecond),
-		metrics.Throughput(ok, elapsed))
+	fmt.Printf("queries: %d ok, %d failed, %d deadline-missed, %d backoff retries in %v → %.1f q/s\n",
+		ok, failures.Load(), timeouts.Load(), client.Retries(),
+		elapsed.Round(time.Millisecond), metrics.Throughput(ok, elapsed))
 	fmt.Printf("latency: %v\n", metrics.SummarizeLatencies(lats))
 	fmt.Printf("vertices visited: %d total\n", visited.Load())
 
 	if stats, err := client.Stats(); err == nil {
-		fmt.Printf("service totals: %d queries completed; per-unit:", stats.TotalCompleted)
+		c := stats.Counters
+		fmt.Printf("service totals: submitted=%d completed=%d rejected=%d timed-out=%d; per-unit:",
+			c.Submitted, c.Completed, c.Rejected, c.TimedOut)
 		for _, u := range stats.Units {
 			fmt.Printf(" %d", u.Completed)
 		}

@@ -33,6 +33,10 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "seed for the generated graph")
 		epsilon   = flag.Float64("epsilon", 1e-3, "auction minimum price increment")
 		timeScale = flag.Float64("timescale", 1e-3, "virtual-cost to wall-time scale for simulated I/O")
+
+		maxPending   = flag.Int("max-pending", 0, "admission bound on in-flight queries (0 = 2·units·queue-cap); excess is rejected with a retry-after hint")
+		deadline     = flag.Duration("deadline", 0, "default per-query deadline for queries without one (0 = none)")
+		schedTimeout = flag.Duration("sched-timeout", 0, "per-round scheduling budget; repeated overruns degrade to least-loaded placement (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -61,9 +65,12 @@ func main() {
 	}
 
 	rt, err := live.NewAuction(g, live.Config{
-		NumUnits:      *units,
-		MemoryPerUnit: *memMB << 20,
-		TimeScale:     *timeScale,
+		NumUnits:        *units,
+		MemoryPerUnit:   *memMB << 20,
+		TimeScale:       *timeScale,
+		MaxPending:      *maxPending,
+		DefaultDeadline: *deadline,
+		SchedTimeout:    *schedTimeout,
 	}, affinity.DefaultConfig(), *epsilon)
 	if err != nil {
 		fatal(err)
@@ -88,7 +95,7 @@ func main() {
 	<-sig
 	fmt.Println("subtrav-service: shutting down")
 	srv.Close()
-	fmt.Printf("subtrav-service: served %d queries\n", rt.Completed())
+	fmt.Printf("subtrav-service: %v\n", rt.Metrics())
 }
 
 func fatal(err error) {

@@ -1,0 +1,246 @@
+// Package faultpoint provides deterministic fault injection for the
+// live runtime and the shared-disk model. A Set holds named injection
+// points (disk reads, unit dequeues, scheduler rounds); production
+// code evaluates a point before the guarded operation and applies the
+// returned fault, if any: an added latency (spike or stall) and/or a
+// transient error.
+//
+// Determinism: whether the k-th hit of a point fires is a pure
+// function of (set seed, point name, k, rule). Concurrent callers may
+// interleave hit ordinals differently between runs, but the *schedule*
+// — which ordinals fire and with what fault — is fixed by the seed, so
+// a stress run with F fired faults always has exactly F fired faults
+// at the same relative positions in each point's hit stream. A nil
+// *Set is valid and injects nothing, making the hooks free to leave in
+// production paths.
+package faultpoint
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site.
+type Point string
+
+// The injection sites wired into the runtime.
+const (
+	// DiskRead guards each shared-disk fetch (cache-miss path).
+	DiskRead Point = "disk.read"
+	// Dequeue guards a worker picking the next task off its queue.
+	Dequeue Point = "unit.dequeue"
+	// SchedRound guards one dispatcher scheduling round.
+	SchedRound Point = "sched.round"
+)
+
+// Fault is the outcome of evaluating a point: the zero value means
+// "no fault".
+type Fault struct {
+	// Delay is added latency: a spike on disk reads, a stall on
+	// dequeues or scheduler rounds.
+	Delay time.Duration
+	// Err, when non-nil, is a transient error the operation should
+	// surface (or internally retry).
+	Err error
+}
+
+// Fired reports whether the fault does anything.
+func (f Fault) Fired() bool { return f.Delay > 0 || f.Err != nil }
+
+// Sleep pauses for the fault's delay, returning early if ctx is
+// cancelled first.
+func (f Fault) Sleep(ctx context.Context) {
+	if f.Delay <= 0 {
+		return
+	}
+	if ctx == nil {
+		time.Sleep(f.Delay)
+		return
+	}
+	t := time.NewTimer(f.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Rule describes when and how a point fires. Every and Prob compose:
+// a hit fires if it matches Every, or if the seeded coin for its
+// ordinal lands under Prob.
+type Rule struct {
+	// Prob fires a hit with this probability, decided by a hash of
+	// (seed, point, ordinal) — not by a shared RNG stream, so the
+	// decision for hit k never depends on interleaving.
+	Prob float64
+	// Every fires deterministically on hits Every, 2·Every, ... (1 =
+	// every hit, 0 = disabled).
+	Every int64
+	// Delay and Err are the injected fault.
+	Delay time.Duration
+	Err   error
+}
+
+func (r Rule) validate() error {
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("faultpoint: Prob = %g, want [0,1]", r.Prob)
+	}
+	if r.Every < 0 {
+		return fmt.Errorf("faultpoint: Every = %d, want >= 0", r.Every)
+	}
+	if r.Delay < 0 {
+		return fmt.Errorf("faultpoint: Delay = %v, want >= 0", r.Delay)
+	}
+	if r.Prob == 0 && r.Every == 0 {
+		return fmt.Errorf("faultpoint: rule fires never (Prob = 0, Every = 0)")
+	}
+	return nil
+}
+
+type pointState struct {
+	hits  atomic.Int64
+	fired atomic.Int64
+	rules []Rule // immutable after Add
+}
+
+// Set is a seeded collection of fault rules. Evaluation is lock-free
+// after construction; Add must finish before the Set is shared.
+type Set struct {
+	seed uint64
+
+	mu     sync.Mutex
+	points map[Point]*pointState
+}
+
+// NewSet creates an empty fault set with the given schedule seed.
+func NewSet(seed uint64) *Set {
+	return &Set{seed: seed, points: make(map[Point]*pointState)}
+}
+
+// Add registers a rule at a point. Multiple rules on one point are
+// evaluated in registration order; the first that fires wins. Add
+// panics on invalid rules (programmer error in test setup).
+func (s *Set) Add(p Point, r Rule) *Set {
+	if err := r.validate(); err != nil {
+		panic(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.points[p]
+	if st == nil {
+		st = &pointState{}
+		s.points[p] = st
+	}
+	st.rules = append(st.rules, r)
+	return s
+}
+
+// Eval records one hit of the point and returns the fault scheduled
+// for that hit ordinal (zero Fault if none). Safe for concurrent use;
+// safe on a nil Set.
+func (s *Set) Eval(p Point) Fault {
+	if s == nil {
+		return Fault{}
+	}
+	s.mu.Lock()
+	st := s.points[p]
+	s.mu.Unlock()
+	if st == nil {
+		return Fault{}
+	}
+	n := st.hits.Add(1)
+	for ri, r := range st.rules {
+		if r.Every > 0 && n%r.Every == 0 {
+			st.fired.Add(1)
+			return Fault{Delay: r.Delay, Err: r.Err}
+		}
+		if r.Prob > 0 && coin(s.seed, p, ri, n) < r.Prob {
+			st.fired.Add(1)
+			return Fault{Delay: r.Delay, Err: r.Err}
+		}
+	}
+	return Fault{}
+}
+
+// Hits returns how many times the point has been evaluated.
+func (s *Set) Hits(p Point) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	st := s.points[p]
+	s.mu.Unlock()
+	if st == nil {
+		return 0
+	}
+	return st.hits.Load()
+}
+
+// Fired returns how many evaluations of the point injected a fault.
+func (s *Set) Fired(p Point) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	st := s.points[p]
+	s.mu.Unlock()
+	if st == nil {
+		return 0
+	}
+	return st.fired.Load()
+}
+
+// TotalFired sums Fired over every registered point.
+func (s *Set) TotalFired() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, st := range s.points {
+		total += st.fired.Load()
+	}
+	return total
+}
+
+// String summarizes hit/fired counts per point, sorted by name.
+func (s *Set) String() string {
+	if s == nil {
+		return "faultpoint: none"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.points))
+	for p := range s.points {
+		names = append(names, string(p))
+	}
+	sort.Strings(names)
+	out := "faultpoint:"
+	for _, name := range names {
+		st := s.points[Point(name)]
+		out += fmt.Sprintf(" %s=%d/%d", name, st.fired.Load(), st.hits.Load())
+	}
+	return out
+}
+
+// coin maps (seed, point, rule index, ordinal) to a uniform [0,1)
+// value via a splitmix64-style finalizer over an FNV-mixed key.
+func coin(seed uint64, p Point, rule int, ordinal int64) float64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(p); i++ {
+		h = (h ^ uint64(p[i])) * 0x100000001b3
+	}
+	h ^= uint64(rule) * 0xff51afd7ed558ccd
+	h ^= uint64(ordinal) * 0xc4ceb9fe1a85ec53
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,180 @@
+package faultpoint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	t.Parallel()
+	var s *Set
+	if f := s.Eval(DiskRead); f.Fired() {
+		t.Errorf("nil set fired: %+v", f)
+	}
+	if s.Hits(DiskRead) != 0 || s.Fired(DiskRead) != 0 || s.TotalFired() != 0 {
+		t.Error("nil set has counts")
+	}
+	if got := s.String(); got != "faultpoint: none" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEveryFiresDeterministically(t *testing.T) {
+	t.Parallel()
+	errBoom := errors.New("boom")
+	s := NewSet(1).Add(DiskRead, Rule{Every: 3, Err: errBoom})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if f := s.Eval(DiskRead); f.Fired() {
+			fired = append(fired, i)
+			if f.Err != errBoom {
+				t.Errorf("hit %d: err = %v", i, f.Err)
+			}
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if s.Hits(DiskRead) != 12 || s.Fired(DiskRead) != 4 {
+		t.Errorf("hits=%d fired=%d", s.Hits(DiskRead), s.Fired(DiskRead))
+	}
+}
+
+func TestProbScheduleIsSeedDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func(seed uint64) []int64 {
+		s := NewSet(seed).Add(Dequeue, Rule{Prob: 0.3, Delay: time.Nanosecond})
+		var fired []int64
+		for i := int64(1); i <= 200; i++ {
+			if s.Eval(Dequeue).Fired() {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules at %d", i)
+		}
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Errorf("prob 0.3 fired %d/200 — degenerate", len(a))
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestProbRateRoughlyHonored(t *testing.T) {
+	t.Parallel()
+	s := NewSet(7).Add(SchedRound, Rule{Prob: 0.5, Delay: time.Nanosecond})
+	for i := 0; i < 2000; i++ {
+		s.Eval(SchedRound)
+	}
+	got := s.Fired(SchedRound)
+	if got < 800 || got > 1200 {
+		t.Errorf("prob 0.5 fired %d/2000", got)
+	}
+}
+
+func TestConcurrentEvalCountsEveryHit(t *testing.T) {
+	t.Parallel()
+	s := NewSet(9).Add(DiskRead, Rule{Every: 2, Delay: time.Nanosecond})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Eval(DiskRead)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Hits(DiskRead); got != workers*per {
+		t.Errorf("hits = %d, want %d", got, workers*per)
+	}
+	if got := s.Fired(DiskRead); got != workers*per/2 {
+		t.Errorf("fired = %d, want %d (Every=2 is interleaving-independent)", got, workers*per/2)
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Fault{Delay: time.Minute}.Sleep(ctx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Sleep ignored cancelled context (%v)", elapsed)
+	}
+	Fault{}.Sleep(nil)                                     // no-op
+	Fault{Delay: time.Microsecond}.Sleep(nil)              // nil ctx sleeps plainly
+	Fault{Delay: -time.Second}.Sleep(context.Background()) // negative: no-op
+}
+
+func TestRuleValidation(t *testing.T) {
+	t.Parallel()
+	bad := []Rule{
+		{Prob: -0.1, Delay: 1},
+		{Prob: 1.5, Delay: 1},
+		{Every: -1, Delay: 1},
+		{Prob: 0.5, Delay: -time.Second},
+		{}, // never fires
+	}
+	for i, r := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rule %d (%+v) accepted", i, r)
+				}
+			}()
+			NewSet(1).Add(DiskRead, r)
+		}()
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	t.Parallel()
+	errA, errB := errors.New("a"), errors.New("b")
+	s := NewSet(1).
+		Add(DiskRead, Rule{Every: 2, Err: errA}).
+		Add(DiskRead, Rule{Every: 1, Err: errB})
+	if f := s.Eval(DiskRead); f.Err != errB { // hit 1: only Every=1 matches
+		t.Errorf("hit 1 err = %v", f.Err)
+	}
+	if f := s.Eval(DiskRead); f.Err != errA { // hit 2: first rule matches first
+		t.Errorf("hit 2 err = %v", f.Err)
+	}
+	if s.TotalFired() != 2 {
+		t.Errorf("total fired = %d", s.TotalFired())
+	}
+	if !strings.Contains(s.String(), "disk.read=2/2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}

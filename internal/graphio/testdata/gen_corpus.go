@@ -1,0 +1,73 @@
+//go:build ignore
+
+// gen_corpus regenerates the seed corpora under testdata/fuzz/ for the
+// graphio fuzz targets. Run from internal/graphio:
+//
+//	go run testdata/gen_corpus.go
+//
+// The seeds mirror the f.Add cases (valid file, truncation, bit flip)
+// so `go test -fuzz` starts from interesting inputs even with an empty
+// fuzz cache, and plain `go test` replays them as regression inputs.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/graphio"
+)
+
+func main() {
+	b := graph.NewBuilder(graph.Undirected, 4)
+	b.AddWeightedEdge(0, 1, 0.5)
+	b.AddEdge(2, 3)
+	b.SetVertexProps(0, graph.Properties{"k": graph.Int(7)})
+	var buf bytes.Buffer
+	if err := graphio.Write(&buf, b.Build()); err != nil {
+		log.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff
+
+	write("FuzzRead", "valid", valid)
+	write("FuzzRead", "truncated", valid[:len(valid)/2])
+	write("FuzzRead", "bitflip", flipped)
+	write("FuzzRead", "empty", nil)
+	write("FuzzRead", "garbage", []byte("garbage"))
+
+	corpus, err := graphgen.Images(graphgen.ImageCorpusConfig{
+		NumPersons: 3, ImagesPerPersonMin: 3, ImagesPerPersonMax: 5,
+		DescriptorDim: 8, IntraNoise: 0.1, KNN: 3, MinSimilarity: 0.1,
+		CrossCandidates: 4, NumPartitions: 2, NumQueries: 2,
+		PhotoBytesMin: 16, PhotoBytesMax: 32, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf.Reset()
+	if err := graphio.WriteCorpus(&buf, corpus); err != nil {
+		log.Fatal(err)
+	}
+	validCorpus := buf.Bytes()
+	write("FuzzReadCorpus", "valid", validCorpus)
+	write("FuzzReadCorpus", "truncated", validCorpus[:len(validCorpus)/3])
+	write("FuzzReadCorpus", "junk", []byte("junk"))
+}
+
+func write(target, name string, data []byte) {
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, "seed_"+name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -6,9 +6,17 @@
 // (internal/service) — the paper's deployment shape, where the
 // scheduler and the traversal engines run as one always-on system
 // processing a live query stream.
+//
+// Failure semantics: every admitted query resolves exactly once, as a
+// completion (possibly carrying an execution error), a timeout (its
+// context expired before execution finished), or — at admission — a
+// rejection when the in-flight bound is hit. The partition is recorded
+// in metrics.Counters, so at quiescence
+// submitted = completed + rejected + timed-out holds exactly.
 package live
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,7 +26,9 @@ import (
 
 	"subtrav/internal/affinity"
 	"subtrav/internal/cache"
+	"subtrav/internal/faultpoint"
 	"subtrav/internal/graph"
+	"subtrav/internal/metrics"
 	"subtrav/internal/sched"
 	"subtrav/internal/signature"
 	"subtrav/internal/sim"
@@ -44,6 +54,32 @@ type Config struct {
 	BatchWindow time.Duration
 	// QueueCap bounds each unit's queue (default 64).
 	QueueCap int
+
+	// MaxPending bounds admitted-but-unresolved queries (pending pool
+	// plus unit queues plus executing). Submit past the bound returns
+	// a *RejectedError carrying a retry-after hint instead of
+	// blocking — explicit backpressure. Default 2·NumUnits·QueueCap.
+	MaxPending int
+	// DefaultDeadline, when positive, is applied to queries submitted
+	// with a context that has no deadline of its own. Zero disables.
+	DefaultDeadline time.Duration
+	// SchedTimeout is the per-round scheduling budget. After
+	// DegradeAfter consecutive rounds over budget (or with an injected
+	// scheduler fault), the dispatcher degrades to the least-loaded
+	// fallback policy for DegradeCooldown rounds — graceful
+	// degradation when the auction is stuck or slow. Zero disables
+	// degradation.
+	SchedTimeout time.Duration
+	// DegradeAfter is the consecutive-slow-round threshold (default 3).
+	DegradeAfter int
+	// DegradeCooldown is how many rounds the fallback stays active
+	// once triggered (default 8).
+	DegradeCooldown int
+	// Faults optionally injects deterministic faults into disk
+	// accesses, unit dequeues and scheduler rounds (see
+	// internal/faultpoint). nil disables injection. Fault delays are
+	// wall time, not virtual time.
+	Faults *faultpoint.Set
 }
 
 func (c *Config) validate() error {
@@ -65,6 +101,27 @@ func (c *Config) validate() error {
 	if c.QueueCap < 1 {
 		return fmt.Errorf("live: QueueCap = %d, want >= 1", c.QueueCap)
 	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 2 * c.NumUnits * c.QueueCap
+	}
+	if c.MaxPending < 1 {
+		return fmt.Errorf("live: MaxPending = %d, want >= 1", c.MaxPending)
+	}
+	if c.DefaultDeadline < 0 {
+		return fmt.Errorf("live: DefaultDeadline = %v, want >= 0", c.DefaultDeadline)
+	}
+	if c.SchedTimeout < 0 {
+		return fmt.Errorf("live: SchedTimeout = %v, want >= 0", c.SchedTimeout)
+	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = 3
+	}
+	if c.DegradeCooldown == 0 {
+		c.DegradeCooldown = 8
+	}
+	if c.DegradeAfter < 1 || c.DegradeCooldown < 1 {
+		return fmt.Errorf("live: DegradeAfter = %d, DegradeCooldown = %d, want >= 1", c.DegradeAfter, c.DegradeCooldown)
+	}
 	zero := sim.CostModel{}
 	if c.Cost == zero {
 		c.Cost = sim.DefaultCostModel()
@@ -75,7 +132,8 @@ func (c *Config) validate() error {
 // Response is the outcome of one submitted query.
 type Response struct {
 	Result traverse.Result
-	// Unit is the processing unit that executed the query.
+	// Unit is the processing unit that executed the query, or -1 if
+	// the query was resolved (e.g. timed out) before placement.
 	Unit int32
 	// Wait and Exec are the real queueing and execution durations.
 	Wait time.Duration
@@ -87,13 +145,50 @@ type Response struct {
 type task struct {
 	id      int64
 	query   traverse.Query
+	ctx     context.Context
+	cancel  context.CancelFunc
 	submit  time.Time
 	started time.Time
 	done    chan Response
+	// claimed guarantees exactly-once resolution: whichever of the
+	// dispatcher, a worker, or the shutdown drain claims the task
+	// delivers its response; everyone else backs off.
+	claimed atomic.Bool
 }
 
-// ErrClosed is returned by Submit after Close.
+// ErrClosed is returned by Submit after Close (and by the second and
+// later Close calls).
 var ErrClosed = errors.New("live: runtime closed")
+
+// ErrQueueFull is the sentinel wrapped by *RejectedError; test with
+// errors.Is(err, ErrQueueFull).
+var ErrQueueFull = errors.New("live: queue full")
+
+// RejectedError is returned by Submit when admission control refuses
+// a query: the number of admitted-but-unresolved queries reached
+// Config.MaxPending. The caller should back off and retry no sooner
+// than RetryAfter.
+type RejectedError struct {
+	// InFlight is the in-flight count observed at rejection.
+	InFlight int
+	// RetryAfter is a load-proportional backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("live: queue full (%d in flight), retry after %v", e.InFlight, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrQueueFull) work.
+func (e *RejectedError) Unwrap() error { return ErrQueueFull }
+
+// outcome classifies how a task resolved, for metrics accounting.
+type outcome int
+
+const (
+	outcomeCompleted outcome = iota
+	outcomeTimedOut
+)
 
 // Runtime is a running live deployment. Create with New, submit with
 // Submit or Do, stop with Close.
@@ -105,17 +200,23 @@ type Runtime struct {
 	units    []*liveUnit
 	diskSlot chan struct{}
 
-	mu      sync.Mutex
-	sched   sched.Scheduler
-	pending []*task
-	closed  bool
-	nextID  int64
+	mu       sync.Mutex
+	sched    sched.Scheduler
+	pending  []*task
+	inflight int
+	closed   bool
+	nextID   int64
 
 	wake chan struct{}
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	completed atomic.Int64
+	counters metrics.Counters
+
+	// Degradation state, owned by the dispatcher goroutine.
+	fallback    sched.Scheduler
+	slowRounds  int
+	degradeLeft int
 }
 
 // liveUnit is one worker goroutine's state.
@@ -198,6 +299,7 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 		cfg:      cfg,
 		sigs:     sigs,
 		sched:    scheduler,
+		fallback: sched.NewLeastLoaded(),
 		diskSlot: make(chan struct{}, maxInt(cfg.Cost.Disk.Channels, 1)),
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
@@ -220,8 +322,20 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 // Signatures returns the visit-signature table (for wiring scorers).
 func (r *Runtime) Signatures() *signature.Table { return r.sigs }
 
-// Completed returns the number of finished queries so far.
-func (r *Runtime) Completed() int64 { return r.completed.Load() }
+// Completed returns the number of finished queries so far (including
+// executions that returned an error; excluding timeouts/rejections).
+func (r *Runtime) Completed() int64 { return r.counters.Completed.Load() }
+
+// Metrics snapshots the query-lifecycle counters.
+func (r *Runtime) Metrics() metrics.Snapshot { return r.counters.Snapshot() }
+
+// InFlight returns the number of admitted-but-unresolved queries.
+// Always <= Config.MaxPending.
+func (r *Runtime) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflight
+}
 
 // UnitStats is a point-in-time snapshot of one unit's activity.
 type UnitStats struct {
@@ -251,17 +365,61 @@ func (r *Runtime) Stats() []UnitStats {
 }
 
 // Submit enqueues a query and returns a channel that will receive its
-// Response exactly once.
+// Response exactly once. Equivalent to SubmitCtx with a background
+// context (Config.DefaultDeadline still applies).
 func (r *Runtime) Submit(q traverse.Query) (<-chan Response, error) {
+	return r.SubmitCtx(context.Background(), q)
+}
+
+// SubmitCtx enqueues a query bound to ctx. When ctx expires or is
+// cancelled before execution finishes, the query resolves with a
+// Response whose Err wraps the context error, its unit is freed for
+// other work, and the drop is counted in Metrics().TimedOut. The
+// returned channel receives exactly one Response in every case.
+//
+// If admission control refuses the query (see Config.MaxPending),
+// SubmitCtx returns a *RejectedError (errors.Is ErrQueueFull).
+func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := q.Validate(r.g); err != nil {
 		return nil, err
+	}
+	var cancel context.CancelFunc
+	if r.cfg.DefaultDeadline > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			ctx, cancel = context.WithTimeout(ctx, r.cfg.DefaultDeadline)
+		}
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
 		return nil, ErrClosed
 	}
-	t := &task{id: r.nextID, query: q, submit: time.Now(), done: make(chan Response, 1)}
+	r.counters.Submitted.Add(1)
+	if r.inflight >= r.cfg.MaxPending {
+		inflight := r.inflight
+		retryAfter := r.cfg.BatchWindow * time.Duration(2+inflight/len(r.units))
+		r.mu.Unlock()
+		r.counters.Rejected.Add(1)
+		if cancel != nil {
+			cancel()
+		}
+		return nil, &RejectedError{InFlight: inflight, RetryAfter: retryAfter}
+	}
+	r.inflight++
+	t := &task{
+		id:     r.nextID,
+		query:  q,
+		ctx:    ctx,
+		cancel: cancel,
+		submit: time.Now(),
+		done:   make(chan Response, 1),
+	}
 	r.nextID++
 	r.pending = append(r.pending, t)
 	r.mu.Unlock()
@@ -281,34 +439,83 @@ func (r *Runtime) Do(q traverse.Query) (Response, error) {
 	return <-ch, nil
 }
 
-// Close drains in-flight work and stops all goroutines. Pending
-// queries are still executed; Submit after Close fails.
-func (r *Runtime) Close() {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return
+// DoCtx submits a query bound to ctx and waits. If ctx ends before
+// the runtime resolves the query, DoCtx returns the context error
+// immediately; the runtime still resolves (and counts) the abandoned
+// query internally when it reaches it.
+func (r *Runtime) DoCtx(ctx context.Context, q traverse.Query) (Response, error) {
+	ch, err := r.SubmitCtx(ctx, q)
+	if err != nil {
+		return Response{}, err
 	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// finish resolves a task exactly once, delivering resp and recording
+// the outcome. Returns false if someone else already claimed it.
+func (r *Runtime) finish(t *task, resp Response, o outcome) bool {
+	if !t.claimed.CompareAndSwap(false, true) {
+		return false
+	}
+	if t.cancel != nil {
+		t.cancel()
+	}
+	r.mu.Lock()
+	r.inflight--
+	r.mu.Unlock()
+	switch o {
+	case outcomeTimedOut:
+		r.counters.TimedOut.Add(1)
+	default:
+		r.counters.Completed.Add(1)
+		if resp.Err != nil {
+			r.counters.Failed.Add(1)
+		}
+	}
+	t.done <- resp
+	return true
+}
+
+// Close drains in-flight work and stops all goroutines. Pending
+// queries are still executed; Submit after Close fails with
+// ErrClosed. The first call returns nil; concurrent or repeated calls
+// wait for the same drain and return ErrClosed.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	already := r.closed
 	r.closed = true
 	r.mu.Unlock()
+	if already {
+		r.wg.Wait()
+		return ErrClosed
+	}
 	close(r.stop)
 	r.wg.Wait()
+	return nil
 }
 
 // dispatcher batches pending queries and runs scheduling rounds,
 // mirroring the Figure 6 flow on wall time.
 func (r *Runtime) dispatcher() {
 	defer r.wg.Done()
+	defer func() {
+		// Final drain: schedule whatever is still pending, blocking on
+		// saturated queues (workers are still consuming them).
+		r.dispatchBatch(true)
+		for _, u := range r.units {
+			close(u.queue)
+		}
+	}()
 	timer := time.NewTimer(r.cfg.BatchWindow)
 	defer timer.Stop()
 	for {
 		select {
 		case <-r.stop:
-			// Final drain: schedule whatever is still pending.
-			r.dispatchBatch()
-			for _, u := range r.units {
-				close(u.queue)
-			}
 			return
 		case <-r.wake:
 			// Give the batch window a chance to accumulate peers.
@@ -323,44 +530,163 @@ func (r *Runtime) dispatcher() {
 			case <-timer.C:
 			case <-r.stop:
 			}
-			r.dispatchBatch()
+			// Dispatch; when every queue is full, back off for a batch
+			// window (or a new wake) and retry rather than blocking.
+			for r.dispatchBatch(false) {
+				timer.Reset(r.cfg.BatchWindow)
+				select {
+				case <-r.stop:
+					return
+				case <-r.wake:
+				case <-timer.C:
+				}
+			}
 		}
 	}
 }
 
 // dispatchBatch assigns up to NumUnits pending tasks per round until
-// the pending pool is empty.
-func (r *Runtime) dispatchBatch() {
+// the pending pool is empty. In non-blocking mode it returns true
+// ("blocked") when unit queues are saturated, leaving the unplaced
+// tasks at the head of the pending pool.
+func (r *Runtime) dispatchBatch(block bool) (blocked bool) {
 	for {
 		r.mu.Lock()
 		if len(r.pending) == 0 {
 			r.mu.Unlock()
-			return
+			return false
 		}
 		n := len(r.units)
 		if n > len(r.pending) {
 			n = len(r.pending)
 		}
-		batch := r.pending[:n]
+		batch := append([]*task(nil), r.pending[:n]...)
 		r.pending = r.pending[n:]
 		scheduler := r.sched
 		r.mu.Unlock()
 
-		stasks := make([]*sched.Task, len(batch))
-		for i, t := range batch {
-			stasks[i] = &sched.Task{ID: t.id, Query: t.query, Arrival: t.submit.UnixNano()}
+		// Resolve tasks whose deadline already expired: their unit
+		// slot is never consumed.
+		live := batch[:0]
+		for _, t := range batch {
+			if err := t.ctx.Err(); err != nil {
+				r.finish(t, Response{
+					Unit: -1,
+					Err:  fmt.Errorf("live: dropped before dispatch: %w", err),
+					Wait: time.Since(t.submit),
+				}, outcomeTimedOut)
+				continue
+			}
+			live = append(live, t)
 		}
-		units := make([]sched.UnitState, len(r.units))
-		for i, u := range r.units {
-			units[i] = u
+		if len(live) == 0 {
+			continue
 		}
-		placement := scheduler.Assign(stasks, units)
-		for i, t := range batch {
+
+		placement := r.schedule(scheduler, live)
+		for i, t := range live {
 			u := r.units[placement[i]]
-			u.queued.Add(1)
-			u.queue <- t // blocks if the unit is saturated: backpressure
+			if r.tryEnqueue(u, t) {
+				continue
+			}
+			// Assigned unit saturated: degrade the placement to any
+			// unit with room rather than blocking the dispatcher.
+			if r.enqueueLeastLoaded(t) {
+				continue
+			}
+			if block {
+				u.queued.Add(1)
+				u.queue <- t
+				continue
+			}
+			// Every queue is full: push the rest back and back off.
+			rest := live[i:]
+			r.mu.Lock()
+			pending := make([]*task, 0, len(rest)+len(r.pending))
+			pending = append(pending, rest...)
+			pending = append(pending, r.pending...)
+			r.pending = pending
+			r.mu.Unlock()
+			return true
 		}
 	}
+}
+
+// schedule runs one scheduling round, measuring it against
+// SchedTimeout and degrading to the least-loaded fallback after
+// repeated overruns or injected scheduler faults. Dispatcher
+// goroutine only.
+func (r *Runtime) schedule(scheduler sched.Scheduler, batch []*task) []int {
+	stasks := make([]*sched.Task, len(batch))
+	for i, t := range batch {
+		stasks[i] = &sched.Task{ID: t.id, Query: t.query, Arrival: t.submit.UnixNano()}
+	}
+	units := make([]sched.UnitState, len(r.units))
+	for i, u := range r.units {
+		units[i] = u
+	}
+
+	fault := r.cfg.Faults.Eval(faultpoint.SchedRound)
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay) // injected stall: the round really is slow
+	}
+
+	degraded := r.degradeLeft > 0 || fault.Err != nil
+	start := time.Now()
+	var placement []int
+	if degraded {
+		if r.degradeLeft > 0 {
+			r.degradeLeft--
+		}
+		r.counters.DegradedRounds.Add(1)
+		placement = r.fallback.Assign(stasks, units)
+	} else {
+		placement = scheduler.Assign(stasks, units)
+	}
+	elapsed := time.Since(start) + fault.Delay
+
+	if r.cfg.SchedTimeout > 0 {
+		if elapsed > r.cfg.SchedTimeout || fault.Err != nil {
+			r.slowRounds++
+			if r.slowRounds >= r.cfg.DegradeAfter && r.degradeLeft == 0 {
+				r.degradeLeft = r.cfg.DegradeCooldown
+				r.slowRounds = 0
+			}
+		} else if !degraded {
+			r.slowRounds = 0
+		}
+	}
+	return placement
+}
+
+// tryEnqueue attempts a non-blocking enqueue on u.
+func (r *Runtime) tryEnqueue(u *liveUnit, t *task) bool {
+	u.queued.Add(1)
+	select {
+	case u.queue <- t:
+		return true
+	default:
+		u.queued.Add(-1)
+		return false
+	}
+}
+
+// enqueueLeastLoaded tries every unit in increasing queue-length
+// order. Returns false when all queues are full.
+func (r *Runtime) enqueueLeastLoaded(t *task) bool {
+	order := make([]int, len(r.units))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return r.units[order[a]].queued.Load() < r.units[order[b]].queued.Load()
+	})
+	for _, i := range order {
+		if r.tryEnqueue(r.units[i], t) {
+			return true
+		}
+	}
+	return false
 }
 
 // worker executes tasks on one unit, paying scaled access costs.
@@ -368,44 +694,104 @@ func (r *Runtime) worker(u *liveUnit) {
 	defer r.wg.Done()
 	for t := range u.queue {
 		u.queued.Add(-1)
+
+		// Injected dequeue fault: a stalled (Delay) or transiently
+		// failing (Err) unit.
+		fault := r.cfg.Faults.Eval(faultpoint.Dequeue)
+		if fault.Delay > 0 {
+			time.Sleep(fault.Delay)
+		}
+		if err := t.ctx.Err(); err != nil {
+			r.finish(t, Response{
+				Unit: u.id,
+				Err:  fmt.Errorf("live: dropped at dequeue: %w", err),
+				Wait: time.Since(t.submit),
+			}, outcomeTimedOut)
+			continue
+		}
+		if fault.Err != nil {
+			r.finish(t, Response{
+				Unit: u.id,
+				Err:  fmt.Errorf("live: unit %d: %w", u.id, fault.Err),
+				Wait: time.Since(t.submit),
+			}, outcomeCompleted)
+			continue
+		}
+
 		u.busy.Store(true)
 		t.started = time.Now()
 		resp := r.execute(u, t)
 		u.busy.Store(false)
 
-		now := time.Now().UnixNano()
-		u.mu.Lock()
-		u.completions = append(u.completions, now)
-		u.mu.Unlock()
-		r.completed.Add(1)
-		t.done <- resp
+		o := outcomeCompleted
+		if resp.Err != nil && (errors.Is(resp.Err, context.DeadlineExceeded) || errors.Is(resp.Err, context.Canceled)) {
+			o = outcomeTimedOut
+		} else {
+			now := time.Now().UnixNano()
+			u.mu.Lock()
+			u.completions = append(u.completions, now)
+			u.mu.Unlock()
+		}
+		r.finish(t, resp, o)
 	}
 }
 
 // execute runs the traversal and charges its access trace: buffer hits
 // accumulate a deferred sleep; misses hold a disk slot for the scaled
-// transfer time.
+// transfer time. Cancellation is observed between accesses and inside
+// every scaled sleep, so an expired deadline frees the unit within one
+// access-service time.
 func (r *Runtime) execute(u *liveUnit, t *task) Response {
 	result, trace, err := traverse.Execute(r.g, t.query)
 	if err != nil {
 		return Response{Unit: u.id, Err: err, Wait: t.started.Sub(t.submit)}
 	}
+	cancelled := func(err error) Response {
+		return Response{
+			Unit: u.id,
+			Err:  fmt.Errorf("live: cancelled mid-traversal: %w", err),
+			Wait: t.started.Sub(t.submit),
+			Exec: time.Since(t.started),
+		}
+	}
 	cost := &r.cfg.Cost
 	var inlineNanos int64
 	for _, a := range trace.Accesses {
+		if err := t.ctx.Err(); err != nil {
+			return cancelled(err)
+		}
 		key := liveKey(a)
 		if u.buffer.Contains(key) {
 			u.buffer.Access(key, int64(a.Bytes))
 			inlineNanos += cost.MemHitNanos + liveCPU(cost, a)
 			continue
 		}
-		// Miss: occupy one disk channel for the scaled service time.
+		// Miss: occupy one disk channel for the scaled transfer time,
+		// plus any injected latency spike. A transient injected error
+		// gets one internal retry before failing the query.
+		fault := r.cfg.Faults.Eval(faultpoint.DiskRead)
+		if fault.Err != nil {
+			r.counters.DiskFaultRetries.Add(1)
+			fault = r.cfg.Faults.Eval(faultpoint.DiskRead)
+			if fault.Err != nil {
+				return Response{
+					Unit: u.id,
+					Err:  fmt.Errorf("live: disk read failed after retry: %w", fault.Err),
+					Wait: t.started.Sub(t.submit),
+					Exec: time.Since(t.started),
+				}
+			}
+		}
 		service := cost.Disk.SeekNanos + int64(a.Bytes)*1_000_000_000/cost.Disk.BytesPerSecond
-		r.sleepScaled(service)
+		if err := r.sleepScaled(t.ctx, service, fault.Delay); err != nil {
+			return cancelled(err)
+		}
 		u.buffer.Access(key, int64(a.Bytes))
 		inlineNanos += liveCPU(cost, a) + int64(cost.CPUMissByteNanos*float64(a.Bytes))
 	}
-	r.sleepScaledNoSlot(inlineNanos)
+	if err := r.sleepScaledNoSlot(t.ctx, inlineNanos, 0); err != nil {
+		return cancelled(err)
+	}
 
 	now := time.Now()
 	for _, v := range trace.Touched {
@@ -419,18 +805,31 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 	}
 }
 
-// sleepScaled holds a disk slot while sleeping the scaled duration,
-// creating genuine cross-unit contention on the shared disk.
-func (r *Runtime) sleepScaled(virtualNanos int64) {
-	r.diskSlot <- struct{}{}
+// sleepScaled holds a disk slot while sleeping the scaled duration
+// (plus an injected extra), creating genuine cross-unit contention on
+// the shared disk. Returns the context error if cancelled first.
+func (r *Runtime) sleepScaled(ctx context.Context, virtualNanos int64, extra time.Duration) error {
+	select {
+	case r.diskSlot <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { <-r.diskSlot }()
-	r.sleepScaledNoSlot(virtualNanos)
+	return r.sleepScaledNoSlot(ctx, virtualNanos, extra)
 }
 
-func (r *Runtime) sleepScaledNoSlot(virtualNanos int64) {
-	d := time.Duration(float64(virtualNanos) * r.cfg.TimeScale)
-	if d > 0 {
-		time.Sleep(d)
+func (r *Runtime) sleepScaledNoSlot(ctx context.Context, virtualNanos int64, extra time.Duration) error {
+	d := time.Duration(float64(virtualNanos)*r.cfg.TimeScale) + extra
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -38,6 +38,7 @@ func fastLiveConfig(units int) Config {
 }
 
 func TestDoExecutesQuery(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(2), sched.NewBaseline(1))
 	if err != nil {
@@ -63,6 +64,7 @@ func TestDoExecutesQuery(t *testing.T) {
 }
 
 func TestResultsMatchDirectExecution(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(4), sched.NewBaseline(2))
 	if err != nil {
@@ -89,6 +91,7 @@ func TestResultsMatchDirectExecution(t *testing.T) {
 }
 
 func TestConcurrentSubmissions(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := NewAuction(g, fastLiveConfig(4), affinity.DefaultConfig(), 1e-3)
 	if err != nil {
@@ -126,6 +129,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 }
 
 func TestAffinityRoutingWarmsCaches(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := NewAuction(g, fastLiveConfig(4), affinity.DefaultConfig(), 1e-3)
 	if err != nil {
@@ -157,6 +161,7 @@ func TestAffinityRoutingWarmsCaches(t *testing.T) {
 }
 
 func TestSubmitAfterCloseFails(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(2), sched.NewRoundRobin())
 	if err != nil {
@@ -170,6 +175,7 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 }
 
 func TestCloseDrainsPending(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(2), sched.NewLeastLoaded())
 	if err != nil {
@@ -197,6 +203,7 @@ func TestCloseDrainsPending(t *testing.T) {
 }
 
 func TestInvalidQueryRejected(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(1), sched.NewRoundRobin())
 	if err != nil {
@@ -209,6 +216,7 @@ func TestInvalidQueryRejected(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	if _, err := New(nil, fastLiveConfig(1), sched.NewRoundRobin()); err == nil {
 		t.Error("nil graph accepted")
@@ -228,6 +236,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestStatsSnapshot(t *testing.T) {
+	t.Parallel()
 	g := liveGraph(t)
 	r, err := New(g, fastLiveConfig(3), sched.NewRoundRobin())
 	if err != nil {

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersConservation(t *testing.T) {
+	t.Parallel()
+	var c Counters
+	c.Submitted.Add(10)
+	c.Completed.Add(6)
+	c.Rejected.Add(3)
+	c.TimedOut.Add(1)
+	s := c.Snapshot()
+	if !s.Conserved() {
+		t.Errorf("conserved = false for %v", s)
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("in-flight = %d", s.InFlight())
+	}
+	c.Submitted.Add(2)
+	s = c.Snapshot()
+	if s.Conserved() {
+		t.Error("conserved with 2 in flight")
+	}
+	if s.InFlight() != 2 {
+		t.Errorf("in-flight = %d, want 2", s.InFlight())
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	t.Parallel()
+	var c Counters
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Submitted.Add(1)
+				switch (w + i) % 3 {
+				case 0:
+					c.Completed.Add(1)
+				case 1:
+					c.Rejected.Add(1)
+				case 2:
+					c.TimedOut.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Submitted != workers*per {
+		t.Errorf("submitted = %d", s.Submitted)
+	}
+	if !s.Conserved() {
+		t.Errorf("not conserved: %v", s)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	t.Parallel()
+	var c Counters
+	c.Submitted.Add(5)
+	c.Completed.Add(5)
+	c.Failed.Add(2)
+	got := c.Snapshot().String()
+	for _, want := range []string{"submitted=5", "completed=5", "failed=2", "rejected=0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

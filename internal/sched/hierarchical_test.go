@@ -29,6 +29,7 @@ func hierFixture(t *testing.T, units, groups int) (*Hierarchical, *signature.Tab
 }
 
 func TestHierarchicalValidation(t *testing.T) {
+	t.Parallel()
 	_, sigs := hierFixture(t, 4, 2)
 	_ = sigs
 	if _, err := NewHierarchical(nil, HierarchicalConfig{NumUnits: 4, NumGroups: 2}); err == nil {
@@ -53,6 +54,7 @@ func TestHierarchicalValidation(t *testing.T) {
 }
 
 func TestHierarchicalPlacesEveryTask(t *testing.T) {
+	t.Parallel()
 	h, _ := hierFixture(t, 8, 4)
 	units := mkUnits(8)
 	got := h.Assign(mkTasks(0, 5, 10, 15, 20, 25, 30), units)
@@ -75,6 +77,7 @@ func TestHierarchicalPlacesEveryTask(t *testing.T) {
 }
 
 func TestHierarchicalFollowsAffinityToGroup(t *testing.T) {
+	t.Parallel()
 	h, sigs := hierFixture(t, 8, 4) // groups: {0,1},{2,3},{4,5},{6,7}
 	// Unit 5 (group 2) visited vertex 10's neighborhood.
 	sigs.Record(9, 5, 1)
@@ -92,6 +95,7 @@ func TestHierarchicalFollowsAffinityToGroup(t *testing.T) {
 }
 
 func TestHierarchicalBalancesWithinGroup(t *testing.T) {
+	t.Parallel()
 	h, sigs := hierFixture(t, 4, 2) // groups {0,1}, {2,3}
 	// Both units of group 1 equally affinitive; unit 2 busy.
 	for _, p := range []int32{2, 3} {
@@ -110,6 +114,7 @@ func TestHierarchicalBalancesWithinGroup(t *testing.T) {
 }
 
 func TestHierarchicalSingleGroupDegeneratesToAuction(t *testing.T) {
+	t.Parallel()
 	h, sigs := hierFixture(t, 4, 1)
 	sigs.Record(4, 2, 1)
 	sigs.Record(5, 2, 1)
@@ -122,6 +127,7 @@ func TestHierarchicalSingleGroupDegeneratesToAuction(t *testing.T) {
 }
 
 func TestHierarchicalLargeBatch(t *testing.T) {
+	t.Parallel()
 	h, sigs := hierFixture(t, 4, 2)
 	for v := graph.VertexID(0); v < 32; v++ {
 		sigs.Record(v, int32(v)%4, 1)
@@ -149,6 +155,7 @@ func TestHierarchicalLargeBatch(t *testing.T) {
 }
 
 func TestHierarchicalPanicsOnUnitMismatch(t *testing.T) {
+	t.Parallel()
 	h, _ := hierFixture(t, 4, 2)
 	defer func() {
 		if recover() == nil {

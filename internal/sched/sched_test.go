@@ -39,6 +39,7 @@ func mkTasks(starts ...graph.VertexID) []*Task {
 }
 
 func TestBaselinePrefersFreeUnits(t *testing.T) {
+	t.Parallel()
 	units := []UnitState{
 		&stubUnit{busy: true, queue: 3},
 		&stubUnit{}, // the only free unit
@@ -54,6 +55,7 @@ func TestBaselinePrefersFreeUnits(t *testing.T) {
 }
 
 func TestBaselineAllBusyStillPlaces(t *testing.T) {
+	t.Parallel()
 	units := []UnitState{
 		&stubUnit{busy: true, queue: 2},
 		&stubUnit{busy: true, queue: 2},
@@ -71,6 +73,7 @@ func TestBaselineAllBusyStillPlaces(t *testing.T) {
 }
 
 func TestBaselineBatchFillsFreeUnitsFirst(t *testing.T) {
+	t.Parallel()
 	units := mkUnits(3)
 	b := NewBaseline(3)
 	got := b.Assign(mkTasks(0, 1, 2), units)
@@ -84,6 +87,7 @@ func TestBaselineBatchFillsFreeUnitsFirst(t *testing.T) {
 }
 
 func TestRoundRobinCycles(t *testing.T) {
+	t.Parallel()
 	units := mkUnits(3)
 	r := NewRoundRobin()
 	got := r.Assign(mkTasks(0, 1, 2, 3), units)
@@ -101,6 +105,7 @@ func TestRoundRobinCycles(t *testing.T) {
 }
 
 func TestLeastLoaded(t *testing.T) {
+	t.Parallel()
 	units := []UnitState{
 		&stubUnit{queue: 5},
 		&stubUnit{queue: 1},
@@ -155,6 +160,7 @@ func auctionFixture(t *testing.T, numUnits int, workloadAware bool) (*Auction, *
 }
 
 func TestAuctionFollowsAffinity(t *testing.T) {
+	t.Parallel()
 	sch, sigs, _, _ := auctionFixture(t, 3, true)
 	units := mkUnits(3)
 	// Unit 2 visited vertex 5 and its neighbors: strong affinity.
@@ -172,6 +178,7 @@ func TestAuctionFollowsAffinity(t *testing.T) {
 }
 
 func TestAuctionFallsBackWithoutSignatures(t *testing.T) {
+	t.Parallel()
 	sch, _, _, _ := auctionFixture(t, 3, true)
 	units := []UnitState{
 		&stubUnit{queue: 4},
@@ -194,6 +201,7 @@ func TestAuctionFallsBackWithoutSignatures(t *testing.T) {
 }
 
 func TestAuctionBalancesBetweenEquallyAffinitiveUnits(t *testing.T) {
+	t.Parallel()
 	sch, sigs, _, _ := auctionFixture(t, 2, true)
 	// Both units equally affinitive to vertex 5's subgraph.
 	for _, p := range []int32{0, 1} {
@@ -212,6 +220,7 @@ func TestAuctionBalancesBetweenEquallyAffinitiveUnits(t *testing.T) {
 }
 
 func TestAffinityOnlyIgnoresLoad(t *testing.T) {
+	t.Parallel()
 	sch, sigs, _, _ := auctionFixture(t, 2, false)
 	if sch.Name() != "affinity-only" {
 		t.Fatalf("name = %q", sch.Name())
@@ -243,6 +252,7 @@ func TestAffinityOnlyIgnoresLoad(t *testing.T) {
 }
 
 func TestAuctionSegmentsLargeBatches(t *testing.T) {
+	t.Parallel()
 	sch, sigs, _, _ := auctionFixture(t, 2, true)
 	for v := graph.VertexID(0); v < 10; v++ {
 		sigs.Record(v, 0, 1)
@@ -269,6 +279,7 @@ func TestAuctionSegmentsLargeBatches(t *testing.T) {
 }
 
 func TestAuctionConfigValidation(t *testing.T) {
+	t.Parallel()
 	_, sigs, clock, g := auctionFixture(t, 2, true)
 	_ = sigs
 	scorer, err := affinity.NewScorer(g, signature.NewTable(0), clock, affinity.DefaultConfig())
@@ -284,6 +295,7 @@ func TestAuctionConfigValidation(t *testing.T) {
 }
 
 func TestAuctionPanicsOnUnitMismatch(t *testing.T) {
+	t.Parallel()
 	sch, _, _, _ := auctionFixture(t, 3, true)
 	defer func() {
 		if recover() == nil {
@@ -294,6 +306,7 @@ func TestAuctionPanicsOnUnitMismatch(t *testing.T) {
 }
 
 func TestAuctionParallelVariant(t *testing.T) {
+	t.Parallel()
 	b := graph.NewBuilder(graph.Undirected, 100)
 	for i := 0; i < 99; i++ {
 		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
@@ -329,6 +342,7 @@ func TestAuctionParallelVariant(t *testing.T) {
 }
 
 func TestColdScoreEscapeArc(t *testing.T) {
+	t.Parallel()
 	b := graph.NewBuilder(graph.Undirected, 10)
 	for i := 0; i < 9; i++ {
 		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
@@ -378,6 +392,7 @@ func TestColdScoreEscapeArc(t *testing.T) {
 }
 
 func TestSSSPAnchorsBothEndpoints(t *testing.T) {
+	t.Parallel()
 	b := graph.NewBuilder(graph.Undirected, 20)
 	for i := 0; i < 19; i++ {
 		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))

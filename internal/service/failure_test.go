@@ -1,0 +1,208 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"subtrav/internal/affinity"
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/live"
+	"subtrav/internal/sim"
+)
+
+// startSaturableService runs a deliberately tiny deployment — one slow
+// unit, MaxPending 2 — so a handful of concurrent queries saturates it.
+func startSaturableService(t *testing.T, cfg live.Config) (*Client, *live.Runtime, func()) {
+	t.Helper()
+	g, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: 500, NumEdges: 2500, Exponent: 2.3,
+		Kind: graph.Undirected, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := live.NewAuction(g, cfg, affinity.DefaultConfig(), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, rt, func() {
+		client.Close()
+		srv.Close()
+		rt.Close()
+	}
+}
+
+func slowServiceConfig() live.Config {
+	cost := sim.DefaultCostModel()
+	cost.Disk.SeekNanos = 2_000_000 // 2 ms per miss at TimeScale 1
+	cost.Disk.Channels = 1
+	return live.Config{
+		NumUnits: 1, MemoryPerUnit: 256 << 10, Cost: cost,
+		TimeScale: 1, BatchWindow: 50 * time.Microsecond,
+		QueueCap: 1, MaxPending: 2,
+	}
+}
+
+// TestRejectionThenRetrySucceeds is the backpressure acceptance
+// scenario: a client hitting a full queue receives an explicit
+// rejection (not a hang), and the same query then succeeds through
+// DoRetry's backoff loop.
+func TestRejectionThenRetrySucceeds(t *testing.T) {
+	t.Parallel()
+	client, rt, stop := startSaturableService(t, slowServiceConfig())
+	defer stop()
+
+	q := WireQuery{Op: "bfs", Start: 0, Depth: 2, MaxVisits: 20}
+
+	// Flood without retries: with MaxPending=2 and ~40 ms per query,
+	// most of these must be rejected explicitly.
+	var wg sync.WaitGroup
+	var rejected, ok int
+	var mu sync.Mutex
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reply, err := client.DoTimeout(WireQuery{Op: "bfs", Start: int32(i * 13 % 500), Depth: 2, MaxVisits: 20}, 0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrRejected):
+				rejected++
+				if reply.RetryAfterNanos <= 0 {
+					t.Errorf("rejection carried no retry-after hint: %+v", reply)
+				}
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if rejected == 0 {
+		t.Fatal("no explicit rejections from a saturated service")
+	}
+	if ok == 0 {
+		t.Fatal("no query got through at all")
+	}
+
+	// The same pressure with DoRetry: backoff absorbs the rejections.
+	var retryWg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		retryWg.Add(1)
+		go func(i int) {
+			defer retryWg.Done()
+			policy := RetryPolicy{MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, Seed: uint64(i + 1)}
+			if _, err := client.DoRetry(q, 0, policy); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	retryWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("DoRetry failed despite backoff: %v", err)
+	}
+	if client.Retries() == 0 {
+		t.Error("no backoff retries were needed — the service never pushed back")
+	}
+
+	m := rt.Metrics()
+	if int(m.Rejected) < rejected {
+		t.Errorf("runtime counted %d rejections, client saw %d", m.Rejected, rejected)
+	}
+	if !m.Conserved() {
+		t.Errorf("not conserved: %v", m)
+	}
+}
+
+// TestDeadlineOverWire is the deadline acceptance scenario: a query
+// whose deadline expires mid-traversal comes back as ErrDeadline, the
+// unit is reusable, and the drop shows up in the service counters.
+func TestDeadlineOverWire(t *testing.T) {
+	t.Parallel()
+	cfg := slowServiceConfig()
+	cfg.MaxPending = 8
+	client, rt, stop := startSaturableService(t, cfg)
+	defer stop()
+
+	// ~40 misses × 2 ms ≫ the 10 ms deadline.
+	reply, err := client.DoTimeout(WireQuery{Op: "bfs", Start: 0, Depth: 3, MaxVisits: 40}, 10*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v (reply %+v), want ErrDeadline", err, reply)
+	}
+
+	// The unit is reusable: an undeadlined query completes.
+	if _, err := client.Do(WireQuery{Op: "bfs", Start: 0, Depth: 1, MaxVisits: 5}); err != nil {
+		t.Fatalf("service unusable after a deadline miss: %v", err)
+	}
+
+	// The drop is visible in the counters once the runtime resolves it.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Metrics().TimedOut == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stats.Counters
+	if c.TimedOut < 1 {
+		t.Errorf("wire counters show no timeout: %+v", c)
+	}
+	if c.Submitted != c.Completed+c.Rejected+c.TimedOut {
+		t.Errorf("wire counters not conserved: %+v", c)
+	}
+}
+
+// TestDoRetryGivesUp: when saturation persists past MaxAttempts the
+// last rejection is surfaced, still matching ErrRejected.
+func TestDoRetryGivesUp(t *testing.T) {
+	t.Parallel()
+	client, _, stop := startSaturableService(t, slowServiceConfig())
+	defer stop()
+
+	// Keep the single unit pinned down.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = client.DoTimeout(WireQuery{Op: "bfs", Start: int32(i), Depth: 3, MaxVisits: 60}, 0)
+		}(i)
+	}
+	defer wg.Wait()
+	time.Sleep(5 * time.Millisecond) // let the pinners be admitted
+
+	policy := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 2 * time.Microsecond, Seed: 7}
+	_, err := client.DoRetry(WireQuery{Op: "bfs", Start: 9, Depth: 2, MaxVisits: 20}, 0, policy)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected after exhausting attempts", err)
+	}
+}
+
+// TestRetryPolicyDefaults pins the documented defaults.
+func TestRetryPolicyDefaults(t *testing.T) {
+	t.Parallel()
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 4 || p.BaseDelay != time.Millisecond || p.MaxDelay != 100*time.Millisecond {
+		t.Errorf("defaults = %+v", p)
+	}
+}

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"subtrav/internal/live"
 )
@@ -109,7 +111,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if req.Kind == KindStats {
-			reply := Reply{ID: req.ID, TotalCompleted: s.rt.Completed()}
+			m := s.rt.Metrics()
+			reply := Reply{
+				ID:             req.ID,
+				TotalCompleted: s.rt.Completed(),
+				Counters: WireCounters{
+					Submitted: m.Submitted, Completed: m.Completed,
+					Rejected: m.Rejected, TimedOut: m.TimedOut,
+					Failed: m.Failed, DegradedRounds: m.DegradedRounds,
+					DiskFaultRetries: m.DiskFaultRetries,
+				},
+			}
 			for _, u := range s.rt.Stats() {
 				reply.Units = append(reply.Units, WireUnitStats{
 					Unit: u.Unit, Queued: u.Queued, Busy: u.Busy, Completed: u.Completed,
@@ -120,24 +132,55 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		query, err := req.Query.ToQuery()
 		if err != nil {
-			send(Reply{ID: req.ID, Err: err.Error()})
+			send(Reply{ID: req.ID, Code: CodeError, Err: err.Error()})
 			continue
 		}
-		ch, err := s.rt.Submit(query)
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if req.TimeoutNanos > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
+		}
+		ch, err := s.rt.SubmitCtx(ctx, query)
 		if err != nil {
-			send(Reply{ID: req.ID, Err: err.Error()})
+			if cancel != nil {
+				cancel()
+			}
+			var rej *live.RejectedError
+			if errors.As(err, &rej) {
+				send(Reply{
+					ID: req.ID, Code: CodeRejected, Err: err.Error(),
+					RetryAfterNanos: rej.RetryAfter.Nanoseconds(),
+				})
+				continue
+			}
+			send(Reply{ID: req.ID, Code: CodeError, Err: err.Error()})
 			continue
 		}
 		inflight.Add(1)
-		go func(id uint64, ch <-chan live.Response) {
+		go func(id uint64, ch <-chan live.Response, ctx context.Context, cancel context.CancelFunc) {
 			defer inflight.Done()
-			resp := <-ch
-			if resp.Err != nil {
-				send(Reply{ID: id, Err: resp.Err.Error()})
+			if cancel != nil {
+				defer cancel()
+			}
+			var resp live.Response
+			select {
+			case resp = <-ch:
+			case <-ctx.Done():
+				// Deadline hit while the query is queued or executing:
+				// answer the client now; the runtime resolves (and
+				// counts) the abandoned query when it reaches it.
+				send(Reply{ID: id, Code: CodeDeadline, Err: ctx.Err().Error()})
 				return
 			}
-			send(replyFrom(id, resp.Result, resp.Unit, resp.Wait.Nanoseconds(), resp.Exec.Nanoseconds()))
-		}(req.ID, ch)
+			switch {
+			case resp.Err == nil:
+				send(replyFrom(id, resp.Result, resp.Unit, resp.Wait.Nanoseconds(), resp.Exec.Nanoseconds()))
+			case errors.Is(resp.Err, context.DeadlineExceeded) || errors.Is(resp.Err, context.Canceled):
+				send(Reply{ID: id, Code: CodeDeadline, Err: resp.Err.Error()})
+			default:
+				send(Reply{ID: id, Code: CodeError, Err: resp.Err.Error()})
+			}
+		}(req.ID, ch, ctx, cancel)
 	}
 }
 

@@ -53,6 +53,7 @@ func startService(t *testing.T) (*Client, func()) {
 }
 
 func TestBFSOverWire(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	reply, err := client.Do(WireQuery{Op: "bfs", Start: 0, Depth: 2, MaxVisits: 100})
@@ -68,6 +69,7 @@ func TestBFSOverWire(t *testing.T) {
 }
 
 func TestSSSPOverWire(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	reply, err := client.Do(WireQuery{Op: "sssp", Start: 0, Target: 1, Depth: 6})
@@ -80,6 +82,7 @@ func TestSSSPOverWire(t *testing.T) {
 }
 
 func TestRWROverWireMatchesLocal(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	reply, err := client.Do(WireQuery{Op: "rwr", Start: 3, Steps: 200, RestartProb: 0.2, TopK: 5, Seed: 9})
@@ -111,6 +114,7 @@ func TestRWROverWireMatchesLocal(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	var wg sync.WaitGroup
@@ -133,6 +137,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestRemoteErrors(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	if _, err := client.Do(WireQuery{Op: "nope", Start: 0}); err == nil || !strings.Contains(err.Error(), "unknown op") {
@@ -148,6 +153,7 @@ func TestRemoteErrors(t *testing.T) {
 }
 
 func TestPredicatesOverWire(t *testing.T) {
+	t.Parallel()
 	// Graph where vertex properties gate traversal.
 	b := graph.NewBuilder(graph.Undirected, 3)
 	b.AddEdge(0, 1)
@@ -198,6 +204,7 @@ func TestPredicatesOverWire(t *testing.T) {
 }
 
 func TestClientCloseFailsPending(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	client.Close()
@@ -207,12 +214,14 @@ func TestClientCloseFailsPending(t *testing.T) {
 }
 
 func TestServerValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewServer(nil); err == nil {
 		t.Error("nil runtime accepted")
 	}
 }
 
 func TestStatsRPC(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	for i := 0; i < 12; i++ {
@@ -240,6 +249,7 @@ func TestStatsRPC(t *testing.T) {
 }
 
 func TestTwoClients(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	// A second connection to the same server.
@@ -274,6 +284,7 @@ func TestTwoClients(t *testing.T) {
 }
 
 func TestPredicateFilterOverWire(t *testing.T) {
+	t.Parallel()
 	// Path 0-1-2-3 with ages; filter blocks expansion past age 40.
 	b := graph.NewBuilder(graph.Undirected, 4)
 	b.AddEdge(0, 1)
@@ -324,6 +335,7 @@ func TestPredicateFilterOverWire(t *testing.T) {
 }
 
 func TestAllOpsOverWire(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	// collab on the generic graph: every op path in ToQuery.
@@ -348,6 +360,7 @@ func TestAllOpsOverWire(t *testing.T) {
 }
 
 func TestListenOnBusyAddressFails(t *testing.T) {
+	t.Parallel()
 	client, stop := startService(t)
 	defer stop()
 	addr := client.conn.RemoteAddr().String()
@@ -374,6 +387,7 @@ func TestListenOnBusyAddressFails(t *testing.T) {
 }
 
 func TestServerCloseIdempotentAndRejectsLateListen(t *testing.T) {
+	t.Parallel()
 	g, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
 		NumVertices: 50, NumEdges: 100, Exponent: 2.5, Kind: graph.Undirected, Seed: 3,
 	})
@@ -397,6 +411,7 @@ func TestServerCloseIdempotentAndRejectsLateListen(t *testing.T) {
 }
 
 func TestDialFailure(t *testing.T) {
+	t.Parallel()
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dialing a closed port should fail")
 	}

@@ -126,6 +126,36 @@ type Request struct {
 	ID    uint64
 	Kind  RequestKind
 	Query WireQuery
+	// TimeoutNanos, when positive, bounds the query's end-to-end
+	// server-side latency: the server derives a context deadline that
+	// far in the future, and the runtime cancels the traversal when it
+	// expires (reply code CodeDeadline).
+	TimeoutNanos int64
+}
+
+// ReplyCode classifies a reply for the client's retry logic.
+type ReplyCode uint8
+
+const (
+	// CodeOK is a successful reply (the zero value).
+	CodeOK ReplyCode = iota
+	// CodeError is a non-retryable failure: malformed query or
+	// execution error.
+	CodeError
+	// CodeRejected means admission control refused the query
+	// (backpressure). Retrying after RetryAfterNanos is expected to
+	// succeed once load drains; see Client.DoRetry.
+	CodeRejected
+	// CodeDeadline means the query's deadline expired before it
+	// finished; the traversal was cancelled and its unit freed.
+	CodeDeadline
+)
+
+// WireCounters mirrors metrics.Snapshot on the wire (see
+// internal/metrics.Counters for field semantics).
+type WireCounters struct {
+	Submitted, Completed, Rejected, TimedOut int64
+	Failed, DegradedRounds, DiskFaultRetries int64
 }
 
 // WireUnitStats mirrors live.UnitStats on the wire.
@@ -150,8 +180,11 @@ type WireRanked struct {
 
 // Reply is one framed server response.
 type Reply struct {
-	ID  uint64
-	Err string
+	ID   uint64
+	Err  string
+	Code ReplyCode
+	// RetryAfterNanos is the server's backoff hint on CodeRejected.
+	RetryAfterNanos int64
 
 	Visited         int
 	Found           bool
@@ -166,6 +199,7 @@ type Reply struct {
 	// Stats fields, set for KindStats replies.
 	TotalCompleted int64
 	Units          []WireUnitStats
+	Counters       WireCounters
 }
 
 // replyFrom converts an execution outcome into the wire form.

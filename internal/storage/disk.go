@@ -10,7 +10,11 @@
 // drives the clock.
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"subtrav/internal/faultpoint"
+)
 
 // DiskConfig parameterizes the shared-disk service model.
 type DiskConfig struct {
@@ -69,6 +73,10 @@ type Stats struct {
 	// LocalSeeks counts reads that paid the reduced same-partition
 	// seek (see DiskConfig.PartitionLocality).
 	LocalSeeks int64
+	// FaultedReads and FaultNanos count reads hit by an injected
+	// fault (see Disk.SetFaults) and the virtual latency it added.
+	FaultedReads int64
+	FaultNanos   int64
 }
 
 // MeanQueueNanos returns the average queueing delay per request.
@@ -90,6 +98,7 @@ type Disk struct {
 	// (-1: none).
 	lastPart []int32
 	stats    Stats
+	faults   *faultpoint.Set
 }
 
 // NewDisk creates a disk; panics on invalid configuration (programmer
@@ -111,6 +120,13 @@ func NewDisk(cfg DiskConfig) *Disk {
 
 // Config returns the disk configuration.
 func (d *Disk) Config() DiskConfig { return d.cfg }
+
+// SetFaults wires a fault set into the disk: each read evaluates the
+// faultpoint.DiskRead point and pays any injected delay as extra
+// virtual service time (slow-disk chaos in the simulator). Injected
+// errors have no error path here and are counted but otherwise
+// ignored. nil disables injection.
+func (d *Disk) SetFaults(s *faultpoint.Set) { d.faults = s }
 
 // Stats returns a copy of the activity counters.
 func (d *Disk) Stats() Stats { return d.stats }
@@ -157,6 +173,11 @@ func (d *Disk) ReadPart(now, bytes int64, partition int32) (done int64) {
 		d.stats.LocalSeeks++
 	}
 	service := seek + bytes*1_000_000_000/d.cfg.BytesPerSecond
+	if f := d.faults.Eval(faultpoint.DiskRead); f.Fired() {
+		d.stats.FaultedReads++
+		d.stats.FaultNanos += f.Delay.Nanoseconds()
+		service += f.Delay.Nanoseconds()
+	}
 	done = start + service
 
 	d.freeAt[best] = done

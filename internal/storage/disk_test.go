@@ -3,6 +3,9 @@ package storage
 import (
 	"testing"
 	"testing/quick"
+	"time"
+
+	"subtrav/internal/faultpoint"
 )
 
 func testConfig(channels int) DiskConfig {
@@ -203,6 +206,30 @@ func TestPartitionLocalityValidation(t *testing.T) {
 	cfg.PartitionLocality = -0.1
 	if cfg.Validate() == nil {
 		t.Error("negative PartitionLocality accepted")
+	}
+}
+
+func TestFaultInjectionAddsServiceTime(t *testing.T) {
+	d := NewDisk(testConfig(1))
+	d.SetFaults(faultpoint.NewSet(1).Add(faultpoint.DiskRead, faultpoint.Rule{
+		Every: 2, Delay: 5 * time.Microsecond,
+	}))
+	done1 := d.Read(0, 100) // hit 1: clean
+	if done1 != 1100 {
+		t.Errorf("clean read done = %d, want 1100", done1)
+	}
+	done2 := d.Read(done1, 100) // hit 2: +5000ns spike
+	if got := done2 - done1; got != 1100+5000 {
+		t.Errorf("faulted read service = %d, want 6100", got)
+	}
+	st := d.Stats()
+	if st.FaultedReads != 1 || st.FaultNanos != 5000 {
+		t.Errorf("fault stats = %+v", st)
+	}
+	d.SetFaults(nil) // disable again
+	done3 := d.Read(done2, 100)
+	if got := done3 - done2; got != 1100 {
+		t.Errorf("after disabling, service = %d, want 1100", got)
 	}
 }
 
