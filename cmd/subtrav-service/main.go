@@ -7,6 +7,7 @@
 //
 //	subtrav-service -addr 127.0.0.1:7070 -units 8 -mem 64
 //	subtrav-service -graph twitter.g -units 16
+//	subtrav-service -debug-addr 127.0.0.1:6060   # /metrics, /healthz, pprof
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"subtrav/internal/graph"
 	"subtrav/internal/graphio"
 	"subtrav/internal/live"
+	"subtrav/internal/obs"
 )
 
 func main() {
@@ -37,6 +39,9 @@ func main() {
 		maxPending   = flag.Int("max-pending", 0, "admission bound on in-flight queries (0 = 2·units·queue-cap); excess is rejected with a retry-after hint")
 		deadline     = flag.Duration("deadline", 0, "default per-query deadline for queries without one (0 = none)")
 		schedTimeout = flag.Duration("sched-timeout", 0, "per-round scheduling budget; repeated overruns degrade to least-loaded placement (0 = disabled)")
+
+		debugAddr   = flag.String("debug-addr", "", "optional HTTP debug endpoint serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		traceBuffer = flag.Int("trace-buffer", 4096, "per-query trace spans retained for KindTrace / subtrav-client -trace (0 = tracing off)")
 	)
 	flag.Parse()
 
@@ -71,11 +76,21 @@ func main() {
 		MaxPending:      *maxPending,
 		DefaultDeadline: *deadline,
 		SchedTimeout:    *schedTimeout,
+		TraceBuffer:     *traceBuffer,
 	}, affinity.DefaultConfig(), *epsilon)
 	if err != nil {
 		fatal(err)
 	}
 	defer rt.Close()
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, rt.Registry(), nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("subtrav-service: debug endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", dbg.Addr())
+	}
 
 	// The service package wraps the runtime; importing it here keeps
 	// the wiring in one place.

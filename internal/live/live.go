@@ -29,6 +29,7 @@ import (
 	"subtrav/internal/faultpoint"
 	"subtrav/internal/graph"
 	"subtrav/internal/metrics"
+	"subtrav/internal/obs"
 	"subtrav/internal/sched"
 	"subtrav/internal/signature"
 	"subtrav/internal/sim"
@@ -80,6 +81,12 @@ type Config struct {
 	// internal/faultpoint). nil disables injection. Fault delays are
 	// wall time, not virtual time.
 	Faults *faultpoint.Set
+
+	// TraceBuffer, when positive, captures a per-query trace span for
+	// the last TraceBuffer resolved queries into a lock-cheap ring
+	// (see Runtime.Trace). Zero disables span capture; the metrics
+	// registry (Runtime.Registry) is always on.
+	TraceBuffer int
 }
 
 func (c *Config) validate() error {
@@ -122,6 +129,9 @@ func (c *Config) validate() error {
 	if c.DegradeAfter < 1 || c.DegradeCooldown < 1 {
 		return fmt.Errorf("live: DegradeAfter = %d, DegradeCooldown = %d, want >= 1", c.DegradeAfter, c.DegradeCooldown)
 	}
+	if c.TraceBuffer < 0 {
+		return fmt.Errorf("live: TraceBuffer = %d, want >= 0", c.TraceBuffer)
+	}
 	zero := sim.CostModel{}
 	if c.Cost == zero {
 		c.Cost = sim.DefaultCostModel()
@@ -150,6 +160,11 @@ type task struct {
 	submit  time.Time
 	started time.Time
 	done    chan Response
+	// span is the task's trace span (nil when tracing is off). It is
+	// only ever written by the goroutine that currently owns the task
+	// — submitter, then dispatcher, then worker — with ownership
+	// handed over through channels, so access is race-free.
+	span *obs.Span
 	// claimed guarantees exactly-once resolution: whichever of the
 	// dispatcher, a worker, or the shutdown drain claims the task
 	// delivers its response; everyone else backs off.
@@ -212,6 +227,7 @@ type Runtime struct {
 	wg   sync.WaitGroup
 
 	counters metrics.Counters
+	obs      *runtimeObs
 
 	// Degradation state, owned by the dispatcher goroutine.
 	fallback    sched.Scheduler
@@ -227,6 +243,10 @@ type liveUnit struct {
 
 	queued atomic.Int32
 	busy   atomic.Bool
+
+	// cacheCounters mirror the buffer's activity atomically (via
+	// cache.Sinks) so Stats and /metrics can read them while hot.
+	cacheCounters *unitCounters
 
 	mu          sync.Mutex
 	completions []int64 // unix nanos, ascending
@@ -304,12 +324,17 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 	}
+	r.obs = newRuntimeObs(r, cfg.TraceBuffer)
+	if reg, ok := scheduler.(schedulerRegistrar); ok {
+		reg.Register(r.obs.reg)
+	}
 	for i := 0; i < cfg.NumUnits; i++ {
 		u := &liveUnit{
 			id:     int32(i),
 			buffer: cache.New(cfg.MemoryPerUnit),
 			queue:  make(chan *task, cfg.QueueCap),
 		}
+		u.buffer.SetSinks(r.obs.wireUnit(u))
 		r.units = append(r.units, u)
 		r.wg.Add(1)
 		go r.worker(u)
@@ -343,11 +368,23 @@ type UnitStats struct {
 	Queued    int
 	Busy      bool
 	Completed int
+	// CacheHits and CacheMisses mirror the unit's buffer counters
+	// (atomic shadows, safe to read while the runtime is hot).
+	CacheHits   int64
+	CacheMisses int64
 }
 
-// Stats snapshots every unit's queue depth, busy flag and completion
-// count. (Cache counters are owned by the worker goroutines and are
-// not exposed while the runtime is hot.)
+// HitRate returns CacheHits/(CacheHits+CacheMisses), or 0 when idle.
+func (s UnitStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats snapshots every unit's queue depth, busy flag, completion
+// count and cache activity.
 func (r *Runtime) Stats() []UnitStats {
 	out := make([]UnitStats, len(r.units))
 	for i, u := range r.units {
@@ -355,10 +392,12 @@ func (r *Runtime) Stats() []UnitStats {
 		completed := len(u.completions)
 		u.mu.Unlock()
 		out[i] = UnitStats{
-			Unit:      u.id,
-			Queued:    u.QueueLen(),
-			Busy:      u.Busy(),
-			Completed: completed,
+			Unit:        u.id,
+			Queued:      u.QueueLen(),
+			Busy:        u.Busy(),
+			Completed:   completed,
+			CacheHits:   u.cacheCounters.hits.Value(),
+			CacheMisses: u.cacheCounters.misses.Value(),
 		}
 	}
 	return out
@@ -409,6 +448,12 @@ func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Respo
 		if cancel != nil {
 			cancel()
 		}
+		now := time.Now().UnixNano()
+		r.obs.ring.Append(obs.Span{
+			QueryID: -1, Op: q.Op.String(), Start: int32(q.Start),
+			SubmitNanos: now, EndNanos: now, Unit: -1,
+			Outcome: obs.OutcomeRejected,
+		})
 		return nil, &RejectedError{InFlight: inflight, RetryAfter: retryAfter}
 	}
 	r.inflight++
@@ -420,6 +465,7 @@ func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Respo
 		submit: time.Now(),
 		done:   make(chan Response, 1),
 	}
+	t.span = r.beginSpan(t)
 	r.nextID++
 	r.pending = append(r.pending, t)
 	r.mu.Unlock()
@@ -477,6 +523,10 @@ func (r *Runtime) finish(t *task, resp Response, o outcome) bool {
 			r.counters.Failed.Add(1)
 		}
 	}
+	r.obs.waitNanos.Observe(resp.Wait.Nanoseconds())
+	r.obs.execNanos.Observe(resp.Exec.Nanoseconds())
+	r.obs.latencyNanos.Observe(time.Since(t.submit).Nanoseconds())
+	r.finishSpan(t, resp, o)
 	t.done <- resp
 	return true
 }
@@ -634,16 +684,40 @@ func (r *Runtime) schedule(scheduler sched.Scheduler, batch []*task) []int {
 	degraded := r.degradeLeft > 0 || fault.Err != nil
 	start := time.Now()
 	var placement []int
+	var explain []sched.Explain
 	if degraded {
 		if r.degradeLeft > 0 {
 			r.degradeLeft--
 		}
 		r.counters.DegradedRounds.Add(1)
 		placement = r.fallback.Assign(stasks, units)
+	} else if ex, ok := scheduler.(sched.Explainer); ok {
+		placement, explain = ex.AssignExplained(stasks, units)
 	} else {
 		placement = scheduler.Assign(stasks, units)
 	}
 	elapsed := time.Since(start) + fault.Delay
+	r.obs.schedNanos.Observe(elapsed.Nanoseconds())
+
+	// Fill the schedule phase of each task's span (dispatcher owns the
+	// tasks until they are enqueued, so this is race-free).
+	now := start.UnixNano()
+	for i, t := range batch {
+		s := t.span
+		if s == nil {
+			continue
+		}
+		s.ScheduleNanos = now
+		s.Unit = int32(placement[i])
+		s.QueueLen = r.units[placement[i]].QueueLen()
+		s.Degraded = degraded
+		if explain != nil {
+			s.Affinity = explain[i].Affinity
+			s.AuctionRounds = explain[i].AuctionRounds
+			s.FellBack = explain[i].FellBack
+			s.EmptyRow = explain[i].EmptyRow
+		}
+	}
 
 	if r.cfg.SchedTimeout > 0 {
 		if elapsed > r.cfg.SchedTimeout || fault.Err != nil {
@@ -720,6 +794,9 @@ func (r *Runtime) worker(u *liveUnit) {
 
 		u.busy.Store(true)
 		t.started = time.Now()
+		if t.span != nil {
+			t.span.StartNanos = t.started.UnixNano()
+		}
 		resp := r.execute(u, t)
 		u.busy.Store(false)
 
@@ -756,6 +833,19 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 	}
 	cost := &r.cfg.Cost
 	var inlineNanos int64
+	var hits, misses int
+	var bytesRead, diskWaitNanos int64
+	// flushSpan records execution detail gathered so far; called on
+	// every exit path so cancelled and failed spans keep their counts.
+	flushSpan := func() {
+		if s := t.span; s != nil {
+			s.CacheHits = hits
+			s.CacheMisses = misses
+			s.BytesRead = bytesRead
+			s.DiskWaitNanos = diskWaitNanos
+		}
+	}
+	defer flushSpan()
 	for _, a := range trace.Accesses {
 		if err := t.ctx.Err(); err != nil {
 			return cancelled(err)
@@ -763,6 +853,7 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 		key := liveKey(a)
 		if u.buffer.Contains(key) {
 			u.buffer.Access(key, int64(a.Bytes))
+			hits++
 			inlineNanos += cost.MemHitNanos + liveCPU(cost, a)
 			continue
 		}
@@ -783,10 +874,14 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 			}
 		}
 		service := cost.Disk.SeekNanos + int64(a.Bytes)*1_000_000_000/cost.Disk.BytesPerSecond
-		if err := r.sleepScaled(t.ctx, service, fault.Delay); err != nil {
+		slotWait, err := r.sleepScaled(t.ctx, service, fault.Delay)
+		diskWaitNanos += slotWait.Nanoseconds()
+		if err != nil {
 			return cancelled(err)
 		}
 		u.buffer.Access(key, int64(a.Bytes))
+		misses++
+		bytesRead += int64(a.Bytes)
 		inlineNanos += liveCPU(cost, a) + int64(cost.CPUMissByteNanos*float64(a.Bytes))
 	}
 	if err := r.sleepScaledNoSlot(t.ctx, inlineNanos, 0); err != nil {
@@ -807,15 +902,26 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 
 // sleepScaled holds a disk slot while sleeping the scaled duration
 // (plus an injected extra), creating genuine cross-unit contention on
-// the shared disk. Returns the context error if cancelled first.
-func (r *Runtime) sleepScaled(ctx context.Context, virtualNanos int64, extra time.Duration) error {
+// the shared disk. It returns how long the caller waited for a free
+// slot (the live analogue of disk queueing delay) and the context
+// error if cancelled first.
+func (r *Runtime) sleepScaled(ctx context.Context, virtualNanos int64, extra time.Duration) (time.Duration, error) {
+	t0 := time.Now()
 	select {
 	case r.diskSlot <- struct{}{}:
 	case <-ctx.Done():
-		return ctx.Err()
+		wait := time.Since(t0)
+		r.obs.diskWaitNanos.Observe(wait.Nanoseconds())
+		return wait, ctx.Err()
 	}
-	defer func() { <-r.diskSlot }()
-	return r.sleepScaledNoSlot(ctx, virtualNanos, extra)
+	wait := time.Since(t0)
+	r.obs.diskWaitNanos.Observe(wait.Nanoseconds())
+	r.obs.diskSlotsInUse.Add(1)
+	defer func() {
+		r.obs.diskSlotsInUse.Add(-1)
+		<-r.diskSlot
+	}()
+	return wait, r.sleepScaledNoSlot(ctx, virtualNanos, extra)
 }
 
 func (r *Runtime) sleepScaledNoSlot(ctx context.Context, virtualNanos int64, extra time.Duration) error {

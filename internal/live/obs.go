@@ -1,0 +1,162 @@
+package live
+
+import (
+	"strconv"
+	"time"
+
+	"subtrav/internal/cache"
+	"subtrav/internal/obs"
+)
+
+// runtimeObs is the runtime's observability surface: an obs.Registry
+// with the lifecycle counters, latency histograms and per-unit cache
+// counters, plus the optional span ring. Counter and histogram
+// updates are single atomic adds, so the surface is always on; only
+// span capture is gated (nil ring = off).
+type runtimeObs struct {
+	reg  *obs.Registry
+	ring *obs.Ring
+
+	waitNanos      *obs.Histogram
+	execNanos      *obs.Histogram
+	latencyNanos   *obs.Histogram
+	schedNanos     *obs.Histogram
+	diskWaitNanos  *obs.Histogram
+	diskSlotsInUse *obs.Gauge
+}
+
+// unitCounters are one unit's cache counters, fed by cache.Sinks so a
+// /metrics scrape can watch a cache owned by the worker goroutine.
+type unitCounters struct {
+	hits, misses, evictions, bytes *obs.Counter
+}
+
+// newRuntimeObs wires the registry for a runtime. Per-unit series are
+// registered by wireUnit as units are created.
+func newRuntimeObs(r *Runtime, traceBuffer int) *runtimeObs {
+	reg := obs.NewRegistry()
+	o := &runtimeObs{reg: reg, ring: obs.NewRing(traceBuffer)}
+
+	// Lifecycle counters read straight from metrics.Counters — one
+	// source of truth, so the conservation invariant
+	// submitted = completed + rejected + timed_out is visible on
+	// /metrics at quiescence.
+	reg.CounterFunc("subtrav_queries_submitted_total",
+		"Valid queries presented for admission.", r.counters.Submitted.Load)
+	reg.CounterFunc("subtrav_queries_completed_total",
+		"Queries whose response was delivered after execution.", r.counters.Completed.Load)
+	reg.CounterFunc("subtrav_queries_rejected_total",
+		"Queries refused at admission (backpressure).", r.counters.Rejected.Load)
+	reg.CounterFunc("subtrav_queries_timed_out_total",
+		"Queries dropped on deadline expiry or cancellation.", r.counters.TimedOut.Load)
+	reg.CounterFunc("subtrav_queries_failed_total",
+		"Completed queries whose execution returned an error.", r.counters.Failed.Load)
+	reg.CounterFunc("subtrav_sched_degraded_rounds_total",
+		"Scheduling rounds that used the least-loaded fallback.", r.counters.DegradedRounds.Load)
+	reg.CounterFunc("subtrav_disk_fault_retries_total",
+		"Transient disk errors absorbed by the internal retry.", r.counters.DiskFaultRetries.Load)
+	reg.GaugeFunc("subtrav_queries_inflight",
+		"Admitted-but-unresolved queries.", func() float64 { return float64(r.InFlight()) })
+
+	o.waitNanos = reg.Histogram("subtrav_query_wait_nanos",
+		"Queueing delay from admission to execution start, nanoseconds.")
+	o.execNanos = reg.Histogram("subtrav_query_exec_nanos",
+		"Execution duration, nanoseconds.")
+	o.latencyNanos = reg.Histogram("subtrav_query_latency_nanos",
+		"End-to-end latency from admission to resolution, nanoseconds.")
+	o.schedNanos = reg.Histogram("subtrav_sched_round_nanos",
+		"Scheduling-round duration, nanoseconds.")
+	o.diskWaitNanos = reg.Histogram("subtrav_disk_wait_nanos",
+		"Wall time spent waiting for a free disk channel, nanoseconds.")
+	o.diskSlotsInUse = reg.Gauge("subtrav_disk_slots_in_use",
+		"Disk channels currently held by executing queries.")
+	return o
+}
+
+// wireUnit registers one unit's per-unit series and returns the cache
+// sinks for its buffer.
+func (o *runtimeObs) wireUnit(u *liveUnit) cache.Sinks {
+	label := obs.L("unit", strconv.Itoa(int(u.id)))
+	c := &unitCounters{
+		hits: o.reg.Counter("subtrav_unit_cache_hits_total",
+			"Buffer hits per processing unit.", label),
+		misses: o.reg.Counter("subtrav_unit_cache_misses_total",
+			"Buffer misses (shared-disk fetches) per processing unit.", label),
+		evictions: o.reg.Counter("subtrav_unit_cache_evictions_total",
+			"Buffer evictions per processing unit.", label),
+		bytes: o.reg.Counter("subtrav_unit_cache_bytes_loaded_total",
+			"Bytes fetched into the buffer per processing unit.", label),
+	}
+	u.cacheCounters = c
+	o.reg.GaugeFunc("subtrav_unit_queue_len",
+		"Queued tasks per processing unit.",
+		func() float64 { return float64(u.QueueLen()) }, label)
+	o.reg.CounterFunc("subtrav_unit_completed_total",
+		"Completed queries per processing unit.",
+		func() int64 {
+			u.mu.Lock()
+			defer u.mu.Unlock()
+			return int64(len(u.completions))
+		}, label)
+	return cache.Sinks{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, BytesLoaded: c.bytes}
+}
+
+// schedulerRegistrar is satisfied by schedulers that expose their own
+// metrics (sched.(*Auction).Register).
+type schedulerRegistrar interface {
+	Register(reg *obs.Registry)
+}
+
+// Registry returns the runtime's metrics registry, for mounting on a
+// debug endpoint.
+func (r *Runtime) Registry() *obs.Registry { return r.obs.reg }
+
+// Trace returns up to n of the most recent completed trace spans in
+// append order (oldest first). Empty when tracing is disabled
+// (Config.TraceBuffer == 0).
+func (r *Runtime) Trace(n int) []obs.Span { return r.obs.ring.Last(n) }
+
+// TraceEnabled reports whether span capture is on.
+func (r *Runtime) TraceEnabled() bool { return r.obs.ring != nil }
+
+// beginSpan builds the submit-phase span for an admitted task; nil
+// when tracing is off.
+func (r *Runtime) beginSpan(t *task) *obs.Span {
+	if r.obs.ring == nil {
+		return nil
+	}
+	return &obs.Span{
+		QueryID:     t.id,
+		Op:          t.query.Op.String(),
+		Start:       int32(t.query.Start),
+		SubmitNanos: t.submit.UnixNano(),
+		Unit:        -1,
+	}
+}
+
+// finishSpan completes a span at resolution and appends it to the
+// ring. Called only by the goroutine that won the finish CAS, which
+// is also the goroutine that last owned the task, so span writes
+// never race.
+func (r *Runtime) finishSpan(t *task, resp Response, o outcome) {
+	s := t.span
+	if s == nil {
+		return
+	}
+	s.EndNanos = time.Now().UnixNano()
+	s.Unit = resp.Unit
+	s.WaitNanos = resp.Wait.Nanoseconds()
+	s.ExecNanos = resp.Exec.Nanoseconds()
+	switch {
+	case o == outcomeTimedOut:
+		s.Outcome = obs.OutcomeTimeout
+	case resp.Err != nil:
+		s.Outcome = obs.OutcomeFailed
+	default:
+		s.Outcome = obs.OutcomeCompleted
+	}
+	if resp.Err != nil {
+		s.Err = resp.Err.Error()
+	}
+	r.obs.ring.Append(*s)
+}

@@ -12,8 +12,22 @@ import (
 
 // Quantile returns the q-quantile (0 <= q <= 1) of the samples using
 // nearest-rank on a sorted copy. It returns 0 for empty input.
+// Callers extracting several quantiles should sort once and use
+// QuantileSorted instead of paying the sort per quantile.
 func Quantile(samples []int64, q float64) int64 {
 	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted returns the nearest-rank q-quantile of an
+// already-ascending sample slice, without copying or sorting. It
+// returns 0 for empty input.
+func QuantileSorted(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -22,8 +36,6 @@ func Quantile(samples []int64, q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]int64(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
@@ -65,15 +77,21 @@ type LatencySummary struct {
 }
 
 // SummarizeLatencies computes the standard latency digest from
-// nanosecond samples.
+// nanosecond samples. The samples are copied and sorted once; every
+// quantile (and the max) is then an index into the sorted copy.
 func SummarizeLatencies(nanos []int64) LatencySummary {
+	if len(nanos) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]int64(nil), nanos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return LatencySummary{
-		Count: len(nanos),
-		Mean:  time.Duration(Mean(nanos)),
-		P50:   time.Duration(Quantile(nanos, 0.50)),
-		P95:   time.Duration(Quantile(nanos, 0.95)),
-		P99:   time.Duration(Quantile(nanos, 0.99)),
-		Max:   time.Duration(Max(nanos)),
+		Count: len(sorted),
+		Mean:  time.Duration(Mean(sorted)),
+		P50:   time.Duration(QuantileSorted(sorted, 0.50)),
+		P95:   time.Duration(QuantileSorted(sorted, 0.95)),
+		P99:   time.Duration(QuantileSorted(sorted, 0.99)),
+		Max:   time.Duration(sorted[len(sorted)-1]),
 	}
 }
 

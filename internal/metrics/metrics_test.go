@@ -138,3 +138,86 @@ func TestImbalanceLowerBoundQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantileSorted(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.2, 10}, {0.5, 30}, {0.8, 40}, {1, 50},
+		{-0.5, 10}, {1.5, 50}, // clamped
+	}
+	for _, c := range cases {
+		if got := QuantileSorted(sorted, c.q); got != c.want {
+			t.Errorf("QuantileSorted(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Error("empty sorted quantile should be 0")
+	}
+}
+
+// SummarizeLatencies must agree with the per-quantile path it
+// replaced (sort once, index four times vs sort four times).
+func TestSummarizeLatenciesMatchesQuantile(t *testing.T) {
+	nanos := []int64{900, 100, 500, 300, 700, 200, 800, 400, 600, 1000}
+	sum := SummarizeLatencies(nanos)
+	for _, c := range []struct {
+		got  time.Duration
+		q    float64
+		name string
+	}{
+		{sum.P50, 0.50, "P50"},
+		{sum.P95, 0.95, "P95"},
+		{sum.P99, 0.99, "P99"},
+	} {
+		if want := time.Duration(Quantile(nanos, c.q)); c.got != want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, want)
+		}
+	}
+	if want := time.Duration(Max(nanos)); sum.Max != want {
+		t.Errorf("Max = %v, want %v", sum.Max, want)
+	}
+}
+
+// benchLatencies is a deterministic pseudo-random sample set shared by
+// the summary benchmarks.
+func benchLatencies(n int) []int64 {
+	nanos := make([]int64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range nanos {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		nanos[i] = int64(state % 10_000_000)
+	}
+	return nanos
+}
+
+// BenchmarkSummarizeLatencies measures the sort-once digest.
+func BenchmarkSummarizeLatencies(b *testing.B) {
+	nanos := benchLatencies(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SummarizeLatencies(nanos)
+	}
+}
+
+// BenchmarkSummarizeLatenciesSortPerQuantile is the path
+// SummarizeLatencies replaced — one full sorted copy per quantile —
+// kept as the baseline that proves the win.
+func BenchmarkSummarizeLatenciesSortPerQuantile(b *testing.B) {
+	nanos := benchLatencies(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LatencySummary{
+			Count: len(nanos),
+			Mean:  time.Duration(Mean(nanos)),
+			P50:   time.Duration(Quantile(nanos, 0.50)),
+			P95:   time.Duration(Quantile(nanos, 0.95)),
+			P99:   time.Duration(Quantile(nanos, 0.99)),
+			Max:   time.Duration(Max(nanos)),
+		}
+	}
+}

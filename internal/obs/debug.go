@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugMux builds the debug endpoint handler:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok" (or 503 with the error when health fails)
+//	/debug/pprof/  the standard net/http/pprof surface
+//
+// health may be nil (always healthy). The mux is also usable under a
+// caller-owned server; DebugServer wraps it with lifecycle.
+func NewDebugMux(reg *Registry, health func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "unhealthy: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// StartDebugServer binds addr (port 0 picks a free port) and serves
+// the debug mux on a background goroutine.
+func StartDebugServer(addr string, reg *Registry, health func() error) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           NewDebugMux(reg, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	d := &DebugServer{srv: srv, addr: ln.Addr()}
+	go func() { _ = srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DebugServer) Addr() net.Addr { return d.addr }
+
+// Close stops the server immediately (in-flight scrapes are cut).
+func (d *DebugServer) Close() error { return d.srv.Close() }

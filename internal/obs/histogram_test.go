@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"subtrav/internal/metrics"
+	"subtrav/internal/xrand"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	// Every bucket's upper bound must land in its own bucket, and a
+	// value just above it in the next.
+	for i := 1; i < histNumBuckets-1; i++ {
+		upper, lower := bucketUpper(i), bucketUpper(i-1)
+		if upper >= math.Pow(2, 62) {
+			break // int64 can't hold these bounds exactly
+		}
+		v := int64(upper) // floor: largest integer <= upper
+		if float64(v) <= lower {
+			continue // bucket holds no integer
+		}
+		if got := bucketIndex(v); got != i {
+			t.Errorf("bucketIndex(%d) = %d, want %d (bucket (%g, %g])", v, got, i, lower, upper)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(1); got != 0 {
+		t.Errorf("bucketIndex(1) = %d, want 0", got)
+	}
+	// MaxInt64 lands in the 2^63 bucket, well inside the table.
+	if got := bucketIndex(math.MaxInt64); got >= histNumBuckets || bucketUpper(got) < float64(math.MaxInt64) {
+		t.Errorf("bucketIndex(MaxInt64) = %d (upper %g) does not contain MaxInt64", got, bucketUpper(got))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if snap := h.Snapshot(); snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Errorf("empty snapshot: %+v", snap)
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 10, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 1111 {
+		t.Errorf("Sum = %d, want 1111", h.Sum())
+	}
+	if got, want := h.Mean(), 1111.0/4; got != want {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramQuantileRelativeError is the property the digest
+// promises: against the exact nearest-rank quantile of the raw
+// samples, the histogram estimate is within QuantileMaxRelativeError
+// (plus one-sample rank slack near bucket edges).
+func TestHistogramQuantileRelativeError(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		n := 500 + rng.Intn(1500)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Span several decades: exercise small and large buckets.
+			v := int64(math.Pow(10, 1+6*rng.Float64()))
+			samples[i] = v
+			h.Observe(v)
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0} {
+			got := h.Quantile(q)
+			exact := float64(metrics.QuantileSorted(sorted, q))
+			// The histogram answers a bucket midpoint; the exact
+			// nearest-rank answer lives in the same bucket, so the
+			// relative error is bounded by the half-bucket width.
+			relErr := math.Abs(got-exact) / exact
+			if relErr > QuantileMaxRelativeError*1.0001 {
+				// A rank that straddles a bucket boundary can pick the
+				// adjacent bucket; allow one full bucket of slack there.
+				slack := math.Pow(2, 3.0/(2*histSubBuckets)) - 1
+				if relErr > slack {
+					t.Errorf("trial %d q=%g: got %g, exact %g, rel err %.4f > bound %.4f",
+						trial, q, got, exact, relErr, QuantileMaxRelativeError)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(rng.Intn(1 << 30)))
+	}
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Errorf("snapshot Count = %d, want 100", snap.Count)
+	}
+	var total int64
+	prevUpper := -1.0
+	for _, b := range snap.Buckets {
+		if b.Count <= 0 {
+			t.Errorf("empty bucket in snapshot: %+v", b)
+		}
+		if b.UpperBound <= prevUpper {
+			t.Errorf("buckets not ascending: %g after %g", b.UpperBound, prevUpper)
+		}
+		prevUpper = b.UpperBound
+		total += b.Count
+	}
+	if total != snap.Count {
+		t.Errorf("bucket counts sum to %d, Count is %d", total, snap.Count)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative observation should clamp to 0: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*6364136223846793005 + 1442695040888963407 // cheap LCG
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}

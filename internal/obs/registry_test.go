@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format: HELP/TYPE
+// lines, label rendering, cumulative histogram buckets with +Inf,
+// _sum and _count, in registration order.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+	reg.Counter("test_unit_hits_total", "Per-unit hits.", L("unit", "0")).Add(7)
+	reg.Counter("test_unit_hits_total", "Per-unit hits.", L("unit", "1")).Inc()
+	g := reg.Gauge("test_depth", "Queue depth.")
+	g.Set(4)
+	reg.GaugeFunc("test_ratio", "A computed gauge.", func() float64 { return 0.5 })
+	reg.CounterFunc("test_external_total", "Mirrored counter.", func() int64 { return 42 })
+	h := reg.Histogram("test_latency_nanos", "Latency.")
+	h.Observe(1) // bucket 0, upper bound 1
+	h.Observe(1)
+	h.Observe(4) // bucket 8, upper bound 4
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_unit_hits_total Per-unit hits.
+# TYPE test_unit_hits_total counter
+test_unit_hits_total{unit="0"} 7
+test_unit_hits_total{unit="1"} 1
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 4
+# HELP test_ratio A computed gauge.
+# TYPE test_ratio gauge
+test_ratio 0.5
+# HELP test_external_total Mirrored counter.
+# TYPE test_external_total counter
+test_external_total 42
+# HELP test_latency_nanos Latency.
+# TYPE test_latency_nanos histogram
+test_latency_nanos_bucket{le="1"} 2
+test_latency_nanos_bucket{le="4"} 3
+test_latency_nanos_bucket{le="+Inf"} 3
+test_latency_nanos_sum 6
+test_latency_nanos_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryConcurrency hammers registration, observation and
+// scraping from many goroutines; meaningful under -race.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_ops_total", "ops")
+	g := reg.Gauge("conc_depth", "depth")
+	h := reg.Histogram("conc_latency", "latency")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i + 1))
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Register new labeled series concurrently too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			reg.CounterFunc("conc_dyn_total", "dyn",
+				func() int64 { return 1 }, L("i", string(rune('a'+i))))
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistryPanicsOnKindClash(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("clash_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind clash")
+		}
+	}()
+	reg.Gauge("clash_total", "")
+}
+
+func TestRegistryPanicsOnDuplicateSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "", L("unit", "0"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate series")
+		}
+	}()
+	reg.Counter("dup_total", "", L("unit", "0"))
+}
+
+func TestCheckName(t *testing.T) {
+	for _, ok := range []string{"a", "subtrav_x_total", "A:b_9"} {
+		if err := checkName(ok); err != nil {
+			t.Errorf("checkName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "9lead", "has-dash", "sp ace", "é"} {
+		if err := checkName(bad); err == nil {
+			t.Errorf("checkName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {3, "3"}, {-7, "-7"}, {0.5, "0.5"}, {1e18, "1e+18"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.in); got != c.want {
+			t.Errorf("formatValue(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size concurrent ring buffer of Spans. Writers
+// reserve a slot with one atomic add and copy the span under that
+// slot's mutex — no global lock, so concurrent workers never contend
+// unless they wrap onto the same slot. Readers snapshot without
+// blocking writers for more than one slot copy at a time.
+//
+// A nil *Ring is valid and discards appends — the tracing-off fast
+// path is a single nil check.
+type Ring struct {
+	slots []ringSlot
+	// cursor counts appends; slot i%len holds append i.
+	cursor atomic.Uint64
+}
+
+type ringSlot struct {
+	mu sync.Mutex
+	// seq is 1+append-index (0 = never written).
+	seq  uint64
+	span Span
+}
+
+// NewRing creates a ring holding the last n spans; n <= 0 returns nil
+// (tracing disabled).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{slots: make([]ringSlot, n)}
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Len returns the number of spans currently held (0 for nil).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Append records a span, overwriting the oldest once full. No-op on a
+// nil ring.
+func (r *Ring) Append(s Span) {
+	if r == nil {
+		return
+	}
+	i := r.cursor.Add(1) - 1
+	slot := &r.slots[i%uint64(len(r.slots))]
+	slot.mu.Lock()
+	// A slower writer that reserved an earlier lap must not clobber a
+	// newer span that already landed in this slot.
+	if slot.seq <= i {
+		slot.seq = i + 1
+		slot.span = s
+	}
+	slot.mu.Unlock()
+}
+
+// Last returns up to n of the most recent spans in append order
+// (oldest first). It tolerates concurrent appends: spans written
+// during the scan may be included or not, but the result is always
+// well-formed. Nil rings return nil.
+func (r *Ring) Last(n int) []Span {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	cur := r.cursor.Load()
+	if cur == 0 {
+		return nil
+	}
+	held := uint64(len(r.slots))
+	if cur < held {
+		held = cur
+	}
+	want := uint64(n)
+	if want > held {
+		want = held
+	}
+	type seqSpan struct {
+		seq  uint64
+		span Span
+	}
+	collected := make([]seqSpan, 0, want)
+	// Walk backwards from the most recent append. Slots overwritten by
+	// racing laps are skipped (their seq moved ahead of the window).
+	for off := uint64(0); off < held && uint64(len(collected)) < want; off++ {
+		i := cur - 1 - off
+		slot := &r.slots[i%uint64(len(r.slots))]
+		slot.mu.Lock()
+		seq, span := slot.seq, slot.span
+		slot.mu.Unlock()
+		if seq == i+1 {
+			collected = append(collected, seqSpan{seq: seq, span: span})
+		}
+	}
+	out := make([]Span, len(collected))
+	for k, c := range collected {
+		out[len(collected)-1-k] = c.span
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Append(Span{QueryID: 1}) // must not panic
+	if r.Cap() != 0 || r.Len() != 0 || r.Last(10) != nil {
+		t.Error("nil ring should report empty")
+	}
+	if NewRing(0) != nil || NewRing(-1) != nil {
+		t.Error("NewRing(n<=0) should return nil")
+	}
+}
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	r.Append(Span{QueryID: 1})
+	r.Append(Span{QueryID: 2})
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	got := r.Last(10)
+	if len(got) != 2 || got[0].QueryID != 1 || got[1].QueryID != 2 {
+		t.Errorf("Last(10) = %v, want spans 1,2 oldest-first", got)
+	}
+	if one := r.Last(1); len(one) != 1 || one[0].QueryID != 2 {
+		t.Errorf("Last(1) = %v, want just span 2", one)
+	}
+	if r.Last(0) != nil {
+		t.Error("Last(0) should be nil")
+	}
+}
+
+// TestRingWraparound fills a small ring past capacity and checks that
+// only the newest spans survive, oldest-first.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	for i := int64(1); i <= 20; i++ {
+		r.Append(Span{QueryID: i})
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+	got := r.Last(100)
+	if len(got) != 8 {
+		t.Fatalf("Last(100) returned %d spans, want 8", len(got))
+	}
+	for k, s := range got {
+		if want := int64(13 + k); s.QueryID != want {
+			t.Errorf("span[%d].QueryID = %d, want %d", k, s.QueryID, want)
+		}
+	}
+}
+
+// TestRingConcurrent checks well-formedness under concurrent append
+// and read; meaningful under -race. Every span returned must be one
+// that was actually appended (QueryID encodes writer and sequence).
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	const writers = 4
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Span{QueryID: int64(w*perWriter + i), Unit: int32(w)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			for _, s := range r.Last(16) {
+				w := int(s.QueryID) / perWriter
+				if w < 0 || w >= writers || s.Unit != int32(w) {
+					t.Errorf("torn span: id=%d unit=%d", s.QueryID, s.Unit)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Last(16); len(got) != 16 {
+		t.Errorf("after %d appends Last(16) returned %d spans", writers*perWriter, len(got))
+	}
+}

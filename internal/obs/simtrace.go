@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// SimTracer adapts the simulator's Tracer callbacks
+// (TaskDispatched/TaskStarted/TaskCompleted, see internal/sim) into
+// Spans on a Ring, so discrete-event runs and the live runtime feed
+// the same trace tooling. Timestamps are the simulator's virtual
+// nanoseconds; the fields a live span fills at execution time (cache
+// hits, bytes, disk wait) stay zero except CacheMisses, which the
+// simulator reports at completion.
+//
+// The interface match is structural: obs stays dependency-free and
+// internal/sim stays ignorant of obs. Install with
+// cluster.SetTracer(obs.NewSimTracer(ring)).
+type SimTracer struct {
+	ring *Ring
+
+	mu   sync.Mutex
+	open map[int64]Span
+}
+
+// NewSimTracer traces into ring (which may be nil to drop everything,
+// matching Ring semantics).
+func NewSimTracer(ring *Ring) *SimTracer {
+	return &SimTracer{ring: ring, open: make(map[int64]Span)}
+}
+
+// TaskDispatched implements sim.Tracer: the scheduler placed the task.
+func (t *SimTracer) TaskDispatched(taskID int64, unit int32, at int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.open[taskID] = Span{
+		QueryID:       taskID,
+		Unit:          unit,
+		SubmitNanos:   at,
+		ScheduleNanos: at,
+	}
+}
+
+// TaskStarted implements sim.Tracer: a unit began executing the task.
+func (t *SimTracer) TaskStarted(taskID int64, unit int32, at int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.open[taskID]
+	if !ok {
+		s = Span{QueryID: taskID, SubmitNanos: at, ScheduleNanos: at}
+	}
+	s.Unit = unit
+	s.StartNanos = at
+	s.WaitNanos = at - s.ScheduleNanos
+	t.open[taskID] = s
+}
+
+// TaskCompleted implements sim.Tracer: the task finished; misses
+// counts its shared-disk fetches.
+func (t *SimTracer) TaskCompleted(taskID int64, unit int32, at int64, misses int) {
+	t.mu.Lock()
+	s, ok := t.open[taskID]
+	if ok {
+		delete(t.open, taskID)
+	} else {
+		s = Span{QueryID: taskID, SubmitNanos: at, ScheduleNanos: at, StartNanos: at}
+	}
+	t.mu.Unlock()
+	s.Unit = unit
+	s.EndNanos = at
+	s.ExecNanos = at - s.StartNanos
+	s.CacheMisses = misses
+	s.Outcome = OutcomeCompleted
+	t.ring.Append(s)
+}

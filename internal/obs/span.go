@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Span outcomes. The set mirrors the live runtime's lifecycle
+// partition: every admitted query ends completed (possibly failed) or
+// timed out; rejected queries never reach a unit.
+const (
+	OutcomeCompleted = "completed"
+	OutcomeFailed    = "failed"
+	OutcomeTimeout   = "timeout"
+	OutcomeRejected  = "rejected"
+)
+
+// Span is one query's trace through the system: submit →
+// admit/reject → schedule → queue wait → execute → resolve. The same
+// schema serves the live runtime (wall-clock nanos) and the simulator
+// (virtual nanos via SimTracer), so both feed the same tooling.
+//
+// Zero-valued fields mean "not reached": a rejected span has no
+// schedule or execution phase; a query dropped before dispatch has
+// Unit -1.
+type Span struct {
+	// QueryID is the runtime-assigned task ID (-1 for queries rejected
+	// at admission, which are never assigned one).
+	QueryID int64
+	// Op names the traversal operation ("bfs", "sssp", ...).
+	Op string
+	// Start is the traversal's anchor vertex.
+	Start int32
+
+	// Timestamps in nanoseconds: wall clock for the live runtime,
+	// virtual time for the simulator.
+	SubmitNanos   int64
+	ScheduleNanos int64
+	StartNanos    int64
+	EndNanos      int64
+
+	// Unit is the chosen processing unit (-1 if resolved before
+	// placement).
+	Unit int32
+
+	// Scheduling detail, filled at the schedule step.
+	//
+	// Affinity is the workload-weighted affinity benefit of the chosen
+	// arc (0 when the task had no affinitive unit). QueueLen is the
+	// chosen unit's queue length at placement. AuctionRounds is the
+	// bidding-round count of the auction segment that placed the task.
+	// Degraded marks placement by the least-loaded fallback during a
+	// degraded round; FellBack marks a task that lost its auction and
+	// followed its best-affinity unit; EmptyRow marks a task with no
+	// affinity row, placed least-loaded.
+	Affinity      float64
+	QueueLen      int
+	AuctionRounds int
+	Degraded      bool
+	FellBack      bool
+	EmptyRow      bool
+
+	// Execution detail, filled by the executing unit.
+	CacheHits     int
+	CacheMisses   int
+	BytesRead     int64
+	DiskWaitNanos int64
+
+	// WaitNanos and ExecNanos are the queueing and execution
+	// durations; Outcome and Err describe the resolution.
+	WaitNanos int64
+	ExecNanos int64
+	Outcome   string
+	Err       string
+}
+
+// SpanCSVHeader is the header row of the span CSV rendering. The
+// leading columns (event-free task/unit/time triple) line up with the
+// simulator's CSVTracer schema so live and sim traces can be joined
+// on task and unit.
+const SpanCSVHeader = "task,unit,op,start,submit_ns,schedule_ns,start_ns,end_ns," +
+	"affinity,queue_len,auction_rounds,degraded,fell_back,empty_row," +
+	"cache_hits,cache_misses,bytes_read,disk_wait_ns,wait_ns,exec_ns,outcome,err"
+
+// CSVRow renders the span as one CSV line matching SpanCSVHeader.
+func (s Span) CSVRow() string {
+	return fmt.Sprintf("%d,%d,%s,%d,%d,%d,%d,%d,%g,%d,%d,%t,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s",
+		s.QueryID, s.Unit, s.Op, s.Start,
+		s.SubmitNanos, s.ScheduleNanos, s.StartNanos, s.EndNanos,
+		s.Affinity, s.QueueLen, s.AuctionRounds, s.Degraded, s.FellBack, s.EmptyRow,
+		s.CacheHits, s.CacheMisses, s.BytesRead, s.DiskWaitNanos,
+		s.WaitNanos, s.ExecNanos, s.Outcome, csvEscape(s.Err))
+}
+
+// csvEscape keeps error strings on one CSV cell.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(strings.ReplaceAll(s, `"`, `""`), "\n", " ") + `"`
+}
+
+func (s Span) String() string {
+	return fmt.Sprintf("span{q=%d op=%s unit=%d outcome=%s wait=%dns exec=%dns hits=%d misses=%d}",
+		s.QueryID, s.Op, s.Unit, s.Outcome, s.WaitNanos, s.ExecNanos, s.CacheHits, s.CacheMisses)
+}

@@ -2,9 +2,11 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"subtrav/internal/affinity"
 	"subtrav/internal/auction"
+	"subtrav/internal/obs"
 )
 
 // AuctionConfig configures the paper's scheduler (named SCH in the
@@ -48,11 +50,14 @@ type Auction struct {
 	cfg        AuctionConfig
 	name       string
 
-	// stats
-	rounds        int
-	auctioned     int64
-	fellBack      int64
-	emptyRowTasks int64
+	// Stats are atomic so a concurrent observer (obs registry scrape)
+	// can read them while the dispatcher is scheduling.
+	rounds        atomic.Int64
+	auctioned     atomic.Int64
+	fellBack      atomic.Int64
+	emptyRowTasks atomic.Int64
+	bidRounds     atomic.Int64
+	bids          atomic.Int64
 }
 
 // NewAuction builds the SCH scheduler.
@@ -82,13 +87,45 @@ func NewAuction(scorer *affinity.Scorer, cfg AuctionConfig) (*Auction, error) {
 // Name implements Scheduler.
 func (a *Auction) Name() string { return a.name }
 
+// Explain describes how one task of a batch was placed — the
+// per-decision visibility the trace-span pipeline records.
+type Explain struct {
+	// Affinity is the workload-weighted benefit of the chosen arc (0
+	// when the task had no affinitive unit).
+	Affinity float64
+	// AuctionRounds is the bidding-round count of the auction segment
+	// that placed the task.
+	AuctionRounds int
+	// FellBack marks a task that lost its auction to a same-affinity
+	// sibling and followed its best-affinity unit.
+	FellBack bool
+	// EmptyRow marks a task with no affinity row, placed least-loaded.
+	EmptyRow bool
+}
+
+// Explainer is a Scheduler that can report per-task placement detail.
+type Explainer interface {
+	Scheduler
+	// AssignExplained is Assign plus one Explain per task.
+	AssignExplained(tasks []*Task, units []UnitState) ([]int, []Explain)
+}
+
+var _ Explainer = (*Auction)(nil)
+
 // Assign implements Scheduler.
 func (a *Auction) Assign(tasks []*Task, units []UnitState) []int {
+	out, _ := a.AssignExplained(tasks, units)
+	return out
+}
+
+// AssignExplained implements Explainer.
+func (a *Auction) AssignExplained(tasks []*Task, units []UnitState) ([]int, []Explain) {
 	validateBatch(units)
 	if len(units) != a.cfg.NumUnits {
 		panic(fmt.Sprintf("sched: %d units, auction scheduler built for %d", len(units), a.cfg.NumUnits))
 	}
 	out := make([]int, len(tasks))
+	expl := make([]Explain, len(tasks))
 	extra := make([]int, len(units))
 
 	for lo := 0; lo < len(tasks); lo += len(units) {
@@ -96,14 +133,14 @@ func (a *Auction) Assign(tasks []*Task, units []UnitState) []int {
 		if hi > len(tasks) {
 			hi = len(tasks)
 		}
-		a.assignSegment(tasks[lo:hi], units, extra, out[lo:hi])
+		a.assignSegment(tasks[lo:hi], units, extra, out[lo:hi], expl[lo:hi])
 	}
-	return out
+	return out, expl
 }
 
 // assignSegment auctions one segment of at most P tasks.
-func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, out []int) {
-	a.rounds++
+func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, out []int, expl []Explain) {
+	a.rounds.Add(1)
 
 	// Views that fold in the tasks already placed in this batch, so
 	// Eq. 4's w_p reflects in-flight placements.
@@ -147,12 +184,15 @@ func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, o
 		}
 		return
 	}
+	a.bidRounds.Add(int64(assignment.Rounds))
+	a.bids.Add(assignment.Bids)
 
 	for i := range tasks {
+		expl[i].AuctionRounds = assignment.Rounds
 		unit := assignment.RowToCol[i]
 		switch {
 		case unit >= 0:
-			a.auctioned++
+			a.auctioned.Add(1)
 		case len(matrix.Rows[i]) > 0:
 			// The auction assigns at most one task per unit per
 			// segment; a task that lost its unit to a same-affinity
@@ -167,10 +207,18 @@ func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, o
 				}
 			}
 			unit = best.Unit
-			a.fellBack++
+			a.fellBack.Add(1)
+			expl[i].FellBack = true
 		default:
 			unit = leastLoadedIndex(units, extra)
-			a.emptyRowTasks++
+			a.emptyRowTasks.Add(1)
+			expl[i].EmptyRow = true
+		}
+		for _, e := range matrix.Rows[i] {
+			if e.Unit == unit {
+				expl[i].Affinity = e.Benefit
+				break
+			}
 		}
 		out[i] = unit
 		extra[unit]++
@@ -213,7 +261,25 @@ func (b batchView) QueueLen() int { return b.UnitState.QueueLen() + b.extra }
 // unit after losing the auction, and affinity-less tasks placed on the
 // least-loaded unit.
 func (a *Auction) Stats() (rounds int, auctioned, followedAffinity, emptyRows int64) {
-	return a.rounds, a.auctioned, a.fellBack, a.emptyRowTasks
+	return int(a.rounds.Load()), a.auctioned.Load(), a.fellBack.Load(), a.emptyRowTasks.Load()
+}
+
+// Register exposes the scheduler's counters on an obs registry:
+// segment rounds, placements by category, and the auction's internal
+// bidding rounds and bids (the ε-convergence cost of Algorithm 1).
+func (a *Auction) Register(reg *obs.Registry) {
+	reg.CounterFunc("subtrav_sched_rounds_total",
+		"Auction scheduling segments run.", a.rounds.Load)
+	reg.CounterFunc("subtrav_sched_auctioned_total",
+		"Tasks placed directly by the auction.", a.auctioned.Load)
+	reg.CounterFunc("subtrav_sched_followed_affinity_total",
+		"Tasks that lost their auction and followed their best-affinity unit.", a.fellBack.Load)
+	reg.CounterFunc("subtrav_sched_empty_row_total",
+		"Tasks with no affinitive unit, placed least-loaded.", a.emptyRowTasks.Load)
+	reg.CounterFunc("subtrav_sched_auction_bid_rounds_total",
+		"Bidding rounds executed across all auctions.", a.bidRounds.Load)
+	reg.CounterFunc("subtrav_sched_auction_bids_total",
+		"Individual bids placed across all auctions.", a.bids.Load)
 }
 
 // Prices exposes the incremental auctioneer's current dual prices.

@@ -92,6 +92,17 @@ func (c *Client) Stats() (Reply, error) {
 	return c.roundTrip(Request{Kind: KindStats})
 }
 
+// Trace fetches up to n of the server's most recent trace spans
+// (oldest first). The result is empty when the server runs with
+// tracing disabled.
+func (c *Client) Trace(n int) ([]WireSpan, error) {
+	reply, err := c.roundTrip(Request{Kind: KindTrace, TraceN: n})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Spans, nil
+}
+
 // Do sends one query and waits for its reply. Server-side execution
 // errors come back inside the Reply's Err field as a non-nil error.
 func (c *Client) Do(q WireQuery) (Reply, error) {

@@ -125,7 +125,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			for _, u := range s.rt.Stats() {
 				reply.Units = append(reply.Units, WireUnitStats{
 					Unit: u.Unit, Queued: u.Queued, Busy: u.Busy, Completed: u.Completed,
+					CacheHits: u.CacheHits, CacheMisses: u.CacheMisses,
 				})
+			}
+			send(reply)
+			continue
+		}
+		if req.Kind == KindTrace {
+			reply := Reply{ID: req.ID}
+			for _, sp := range s.rt.Trace(req.TraceN) {
+				reply.Spans = append(reply.Spans, wireSpan(sp))
 			}
 			send(reply)
 			continue

@@ -29,6 +29,7 @@ func startService(t *testing.T) (*Client, func()) {
 	rt, err := live.NewAuction(g, live.Config{
 		NumUnits: 4, MemoryPerUnit: 256 << 10, Cost: cost,
 		TimeScale: 1e-4, BatchWindow: 50 * time.Microsecond,
+		TraceBuffer: 128,
 	}, affinity.DefaultConfig(), 1e-3)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"subtrav/internal/obs"
+)
+
+// TestTraceRPC exercises KindTrace end to end: run queries, fetch the
+// span ring over the wire, and check the WireSpan ↔ obs.Span mapping.
+func TestTraceRPC(t *testing.T) {
+	t.Parallel()
+	client, stop := startService(t)
+	defer stop()
+
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := client.Do(WireQuery{Op: "bfs", Start: int32(i), Depth: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans, err := client.Trace(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != n {
+		t.Fatalf("got %d spans, want %d", len(spans), n)
+	}
+	for _, w := range spans {
+		if w.Op != "bfs" || w.Outcome != obs.OutcomeCompleted {
+			t.Errorf("span %d: op=%q outcome=%q", w.QueryID, w.Op, w.Outcome)
+		}
+		if w.Unit < 0 || w.Unit >= 4 {
+			t.Errorf("span %d unit = %d", w.QueryID, w.Unit)
+		}
+		if w.ExecNanos <= 0 {
+			t.Errorf("span %d exec = %d", w.QueryID, w.ExecNanos)
+		}
+		// Round-trip through the shared schema must be lossless enough
+		// for CSV tooling: same identity, timing and outcome.
+		s := w.ToSpan()
+		if s.QueryID != w.QueryID || s.Unit != w.Unit || s.ExecNanos != w.ExecNanos || s.Outcome != w.Outcome {
+			t.Errorf("ToSpan round-trip mismatch: %+v vs %+v", w, s)
+		}
+		if !strings.HasPrefix(s.CSVRow(), "") { // CSVRow must not panic
+			t.Error("unreachable")
+		}
+	}
+
+	// Asking for fewer spans truncates to the most recent.
+	few, err := client.Trace(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != 2 {
+		t.Fatalf("Trace(2) returned %d spans", len(few))
+	}
+	if few[1].QueryID != spans[n-1].QueryID {
+		t.Errorf("Trace(2) newest = %d, want %d", few[1].QueryID, spans[n-1].QueryID)
+	}
+}
+
+// TestStatsCarriesCacheCounters checks that the Stats RPC exposes the
+// per-unit cache hit/miss totals -watch renders.
+func TestStatsCarriesCacheCounters(t *testing.T) {
+	t.Parallel()
+	client, stop := startService(t)
+	defer stop()
+	for i := 0; i < 10; i++ {
+		if _, err := client.Do(WireQuery{Op: "bfs", Start: 3, Depth: 2, MaxVisits: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reply, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses int64
+	for _, u := range reply.Units {
+		hits += u.CacheHits
+		misses += u.CacheMisses
+		if hr := u.HitRate(); hr < 0 || hr > 1 {
+			t.Errorf("unit %d hit rate %g", u.Unit, hr)
+		}
+	}
+	if misses == 0 {
+		t.Error("no cache misses reported over the wire")
+	}
+	if hits == 0 {
+		t.Error("repeated identical queries reported no cache hits")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"subtrav/internal/graph"
+	"subtrav/internal/obs"
 	"subtrav/internal/predicate"
 	"subtrav/internal/traverse"
 )
@@ -119,6 +120,10 @@ const (
 	KindQuery RequestKind = iota
 	// KindStats returns runtime statistics instead of running a query.
 	KindStats
+	// KindTrace returns the last TraceN completed trace spans from the
+	// runtime's span ring (empty when the server runs with tracing
+	// off).
+	KindTrace
 )
 
 // Request is one framed client request.
@@ -131,6 +136,8 @@ type Request struct {
 	// far in the future, and the runtime cancels the traversal when it
 	// expires (reply code CodeDeadline).
 	TimeoutNanos int64
+	// TraceN is how many spans a KindTrace request asks for.
+	TraceN int
 }
 
 // ReplyCode classifies a reply for the client's retry logic.
@@ -160,10 +167,86 @@ type WireCounters struct {
 
 // WireUnitStats mirrors live.UnitStats on the wire.
 type WireUnitStats struct {
-	Unit      int32
-	Queued    int
-	Busy      bool
-	Completed int
+	Unit        int32
+	Queued      int
+	Busy        bool
+	Completed   int
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// HitRate returns CacheHits/(CacheHits+CacheMisses), or 0 when idle.
+func (u WireUnitStats) HitRate() float64 {
+	total := u.CacheHits + u.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(u.CacheHits) / float64(total)
+}
+
+// WireSpan mirrors obs.Span on the wire (see internal/obs for field
+// semantics). Kept as an explicit mirror so the wire format stays
+// stable if the in-process span schema grows.
+type WireSpan struct {
+	QueryID int64
+	Op      string
+	Start   int32
+
+	SubmitNanos   int64
+	ScheduleNanos int64
+	StartNanos    int64
+	EndNanos      int64
+
+	Unit          int32
+	Affinity      float64
+	QueueLen      int
+	AuctionRounds int
+	Degraded      bool
+	FellBack      bool
+	EmptyRow      bool
+
+	CacheHits     int
+	CacheMisses   int
+	BytesRead     int64
+	DiskWaitNanos int64
+
+	WaitNanos int64
+	ExecNanos int64
+	Outcome   string
+	Err       string
+}
+
+// wireSpan converts an obs.Span to its wire form.
+func wireSpan(s obs.Span) WireSpan {
+	return WireSpan{
+		QueryID: s.QueryID, Op: s.Op, Start: s.Start,
+		SubmitNanos: s.SubmitNanos, ScheduleNanos: s.ScheduleNanos,
+		StartNanos: s.StartNanos, EndNanos: s.EndNanos,
+		Unit: s.Unit, Affinity: s.Affinity, QueueLen: s.QueueLen,
+		AuctionRounds: s.AuctionRounds, Degraded: s.Degraded,
+		FellBack: s.FellBack, EmptyRow: s.EmptyRow,
+		CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
+		BytesRead: s.BytesRead, DiskWaitNanos: s.DiskWaitNanos,
+		WaitNanos: s.WaitNanos, ExecNanos: s.ExecNanos,
+		Outcome: s.Outcome, Err: s.Err,
+	}
+}
+
+// ToSpan converts the wire form back to the shared span schema (e.g.
+// for CSV rendering with obs.Span.CSVRow).
+func (w WireSpan) ToSpan() obs.Span {
+	return obs.Span{
+		QueryID: w.QueryID, Op: w.Op, Start: w.Start,
+		SubmitNanos: w.SubmitNanos, ScheduleNanos: w.ScheduleNanos,
+		StartNanos: w.StartNanos, EndNanos: w.EndNanos,
+		Unit: w.Unit, Affinity: w.Affinity, QueueLen: w.QueueLen,
+		AuctionRounds: w.AuctionRounds, Degraded: w.Degraded,
+		FellBack: w.FellBack, EmptyRow: w.EmptyRow,
+		CacheHits: w.CacheHits, CacheMisses: w.CacheMisses,
+		BytesRead: w.BytesRead, DiskWaitNanos: w.DiskWaitNanos,
+		WaitNanos: w.WaitNanos, ExecNanos: w.ExecNanos,
+		Outcome: w.Outcome, Err: w.Err,
+	}
 }
 
 // WireRec is a serializable recommendation.
@@ -200,6 +283,9 @@ type Reply struct {
 	TotalCompleted int64
 	Units          []WireUnitStats
 	Counters       WireCounters
+
+	// Spans, set for KindTrace replies (oldest first).
+	Spans []WireSpan
 }
 
 // replyFrom converts an execution outcome into the wire form.

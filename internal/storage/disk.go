@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"subtrav/internal/faultpoint"
+	"subtrav/internal/obs"
 )
 
 // DiskConfig parameterizes the shared-disk service model.
@@ -79,6 +80,30 @@ type Stats struct {
 	FaultNanos   int64
 }
 
+// Metrics mirrors disk activity into an obs registry. The counters
+// are atomic, so a concurrent scraper can watch a disk that is being
+// driven by the (single-threaded) simulator.
+type Metrics struct {
+	Requests   *obs.Counter
+	BytesRead  *obs.Counter
+	QueueNanos *obs.Counter
+	LocalSeeks *obs.Counter
+	// Depth is the instantaneous number of busy channels observed at
+	// the last request.
+	Depth *obs.Gauge
+}
+
+// NewMetrics registers the standard disk metric family on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Requests:   reg.Counter("subtrav_disk_requests_total", "Shared-disk read requests."),
+		BytesRead:  reg.Counter("subtrav_disk_bytes_read_total", "Bytes fetched from the shared disk."),
+		QueueNanos: reg.Counter("subtrav_disk_queue_nanos_total", "Virtual nanoseconds requests spent waiting for a free channel."),
+		LocalSeeks: reg.Counter("subtrav_disk_local_seeks_total", "Reads that paid the reduced same-partition seek."),
+		Depth:      reg.Gauge("subtrav_disk_queue_depth", "Busy disk channels observed at the last request."),
+	}
+}
+
 // MeanQueueNanos returns the average queueing delay per request.
 func (s Stats) MeanQueueNanos() float64 {
 	if s.Requests == 0 {
@@ -99,6 +124,7 @@ type Disk struct {
 	lastPart []int32
 	stats    Stats
 	faults   *faultpoint.Set
+	obs      *Metrics
 }
 
 // NewDisk creates a disk; panics on invalid configuration (programmer
@@ -127,6 +153,10 @@ func (d *Disk) Config() DiskConfig { return d.cfg }
 // errors have no error path here and are counted but otherwise
 // ignored. nil disables injection.
 func (d *Disk) SetFaults(s *faultpoint.Set) { d.faults = s }
+
+// SetMetrics mirrors future activity into m (nil disables). Existing
+// totals are not replayed.
+func (d *Disk) SetMetrics(m *Metrics) { d.obs = m }
 
 // Stats returns a copy of the activity counters.
 func (d *Disk) Stats() Stats { return d.stats }
@@ -167,10 +197,12 @@ func (d *Disk) ReadPart(now, bytes int64, partition int32) (done int64) {
 		bytes = 0
 	}
 	seek := d.cfg.SeekNanos
+	localSeek := false
 	if d.cfg.PartitionLocality > 0 && d.cfg.PartitionLocality < 1 &&
 		partition >= 0 && d.lastPart[best] == partition {
 		seek = int64(float64(seek) * d.cfg.PartitionLocality)
 		d.stats.LocalSeeks++
+		localSeek = true
 	}
 	service := seek + bytes*1_000_000_000/d.cfg.BytesPerSecond
 	if f := d.faults.Eval(faultpoint.DiskRead); f.Fired() {
@@ -186,6 +218,21 @@ func (d *Disk) ReadPart(now, bytes int64, partition int32) (done int64) {
 	d.stats.BytesRead += bytes
 	d.stats.BusyNanos += service
 	d.stats.QueueNanos += start - now
+	if m := d.obs; m != nil {
+		m.Requests.Inc()
+		m.BytesRead.Add(bytes)
+		m.QueueNanos.Add(start - now)
+		if localSeek {
+			m.LocalSeeks.Inc()
+		}
+		busy := int64(0)
+		for _, free := range d.freeAt {
+			if free > now {
+				busy++
+			}
+		}
+		m.Depth.Set(busy)
+	}
 	return done
 }
 

@@ -1,11 +1,13 @@
 package storage
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"subtrav/internal/faultpoint"
+	"subtrav/internal/obs"
 )
 
 func testConfig(channels int) DiskConfig {
@@ -244,4 +246,53 @@ func TestPartitionLocalityPerChannel(t *testing.T) {
 	if done != 1100 {
 		t.Errorf("parallel same-partition read = %d, want full seek 1100", done)
 	}
+}
+
+// TestMetricsMirroring checks the obs mirror: every ReadPart updates
+// the registered counters in lockstep with Stats.
+func TestMetricsMirroring(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	cfg := testConfig(2)
+	cfg.PartitionLocality = 0.5
+	d := NewDisk(cfg)
+	d.SetMetrics(m)
+
+	d.ReadPart(0, 100, 1)
+	d.ReadPart(0, 200, 1) // other channel: no locality yet
+	d.ReadPart(2000, 50, 1)
+
+	st := d.Stats()
+	if got := m.Requests.Value(); got != st.Requests {
+		t.Errorf("Requests mirror = %d, stats = %d", got, st.Requests)
+	}
+	if got := m.BytesRead.Value(); got != st.BytesRead {
+		t.Errorf("BytesRead mirror = %d, stats = %d", got, st.BytesRead)
+	}
+	if got := m.QueueNanos.Value(); got != st.QueueNanos {
+		t.Errorf("QueueNanos mirror = %d, stats = %d", got, st.QueueNanos)
+	}
+	if got := m.LocalSeeks.Value(); got != st.LocalSeeks {
+		t.Errorf("LocalSeeks mirror = %d, stats = %d", got, st.LocalSeeks)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "subtrav_disk_requests_total 3") {
+		t.Errorf("exposition missing disk requests:\n%s", b.String())
+	}
+	// Reset keeps the wiring; the counters are cumulative across runs.
+	d.Reset()
+	d.Read(0, 100)
+	if got := m.Requests.Value(); got != 4 {
+		t.Errorf("after reset, mirror = %d, want cumulative 4", got)
+	}
+}
+
+// TestMetricsNilSafe: a disk without metrics must not touch obs.
+func TestMetricsNilSafe(t *testing.T) {
+	d := NewDisk(testConfig(1))
+	d.SetMetrics(nil)
+	d.Read(0, 100) // must not panic
 }
