@@ -1,0 +1,103 @@
+// Command subtrav-vet runs the repo's custom static-analysis suite —
+// the invariants go vet cannot see:
+//
+//	simdet      bit-for-bit determinism in the simulator pipeline
+//	atomicmix   no mixed atomic/plain access to the same variable
+//	lockhold    no blocking ops or leaked returns under a mutex
+//	ctxplumb    no fresh context roots where a ctx is in scope
+//	metriclabel obs metric naming + bounded label cardinality
+//
+// Usage:
+//
+//	go run ./cmd/subtrav-vet [-run a,b] [-json] [-list] [packages...]
+//
+// Packages default to ./... Exit status: 0 clean, 1 findings,
+// 2 usage or load failure. A finding is suppressed by a
+// `//lint:allow <analyzer> <reason>` comment on the offending line
+// or the line above it; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("subtrav-vet", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runList != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*runList, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "subtrav-vet: unknown analyzer %q (try -list)\n", name)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subtrav-vet: %v\n", err)
+		return 2
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers, suite.Scopes())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "subtrav-vet: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "subtrav-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	return 1
+}

@@ -1,0 +1,125 @@
+// Package atomicmix enforces the observability layer's access
+// discipline: a variable (struct field, package-level or local) that
+// is touched through sync/atomic anywhere in a package must be
+// touched through sync/atomic everywhere in that package. Mixing
+// atomic.AddInt64(&x.n, 1) with a plain x.n read is a data race the
+// race detector only catches when the interleaving actually occurs;
+// this check catches it structurally. (Typed atomics — atomic.Int64
+// and friends — make the mix impossible and are the preferred fix.)
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"subtrav/internal/analysis"
+)
+
+// Analyzer reports variables accessed both atomically and plainly.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "reports variables accessed via sync/atomic in one place and by " +
+		"plain load/store in another within the same package; migrate the " +
+		"field to a typed atomic (atomic.Int64 etc.) or make every access atomic",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the guarded variable.
+var atomicFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFuncs[op+ty] = true
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every &v handed to a sync/atomic call; remember
+	// the variable object and exempt that syntactic reference.
+	atomicAt := map[*types.Var]ast.Node{} // first atomic access site
+	exempt := map[ast.Expr]bool{}         // refs that ARE the atomic access
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			ref := ast.Unparen(addr.X)
+			if v := refVar(pass.TypesInfo, ref); v != nil {
+				if _, seen := atomicAt[v]; !seen {
+					atomicAt[v] = call
+				}
+				exempt[ref] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other reference to those variables is a plain
+	// access. (&v escaping to a non-atomic callee counts too: once
+	// the address leaks, atomicity cannot be guaranteed.)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if exempt[expr] {
+				return false // the sanctioned atomic access itself
+			}
+			// Only consider the outermost selector of a chain so
+			// x.f reports once, not for x and x.f separately.
+			switch expr.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			v := refVar(pass.TypesInfo, expr)
+			if v == nil {
+				return true
+			}
+			site, tracked := atomicAt[v]
+			if !tracked {
+				return true
+			}
+			pass.Reportf(expr.Pos(),
+				"%s is accessed with sync/atomic at %s but plainly here; use a typed atomic or make every access atomic",
+				v.Name(), pass.Fset.Position(site.Pos()))
+			return false // don't descend into x of x.f
+		})
+	}
+	return nil
+}
+
+// refVar resolves an identifier or field selector to the variable it
+// denotes, returning nil for anything else (calls, indexing, ...).
+func refVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		// Package-qualified var (pkg.V).
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

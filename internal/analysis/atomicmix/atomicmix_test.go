@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "atomicmixtest")
+}

@@ -1,0 +1,56 @@
+// Package atomicmixtest is an analysistest fixture for atomicmix.
+package atomicmixtest
+
+import "sync/atomic"
+
+// counters mixes access styles on `mixed` (bug) while `clean` is
+// always atomic and `typed` cannot be misused.
+type counters struct {
+	mixed int64
+	clean int64
+	typed atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.mixed, 1)
+	atomic.AddInt64(&c.clean, 1)
+	c.typed.Add(1)
+}
+
+// Flagged: plain read of a field that bump() touches atomically.
+func (c *counters) snapshot() int64 {
+	return c.mixed // want "mixed is accessed with sync/atomic at .* but plainly here"
+}
+
+// Flagged: plain write is just as racy as a plain read.
+func (c *counters) reset() {
+	c.mixed = 0 // want "mixed is accessed with sync/atomic"
+}
+
+// Allowed: every access to clean goes through sync/atomic.
+func (c *counters) cleanSnapshot() int64 {
+	return atomic.LoadInt64(&c.clean)
+}
+
+// Allowed: typed atomics make plain access impossible.
+func (c *counters) typedSnapshot() int64 {
+	return c.typed.Load()
+}
+
+// Package-level variables are tracked too.
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func hitCount() int64 {
+	return hits // want "hits is accessed with sync/atomic"
+}
+
+// Allowed: a documented suppression (single-threaded teardown path).
+func drainHits() int64 {
+	//lint:allow atomicmix read happens after all writers have joined
+	n := hits
+	return n
+}

@@ -1,0 +1,93 @@
+// Package ctxplumb enforces context plumbing in library code: a
+// function that already receives a context.Context (directly or by
+// closing over an enclosing function's parameter) must thread it, not
+// mint a fresh context.Background()/TODO() — a fresh root silently
+// detaches the work from the caller's deadline and cancellation,
+// which is how "cancelled" queries keep running and how the
+// runtime's timed-out conservation counter drifts.
+//
+// Sites that intentionally start a new root (nil-ctx fallbacks in
+// public entry points) document themselves with
+// //lint:allow ctxplumb <reason>.
+package ctxplumb
+
+import (
+	"go/ast"
+	"go/types"
+
+	"subtrav/internal/analysis"
+)
+
+// Analyzer reports context.Background/TODO calls made while a ctx
+// parameter is lexically in scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxplumb",
+	Doc: "reports context.Background()/context.TODO() in functions that have " +
+		"a context.Context parameter in scope (including enclosing closures); " +
+		"thread the existing ctx so deadlines and cancellation propagate",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		walk(pass, file, nil)
+	}
+	return nil
+}
+
+// walk descends the file tracking the stack of context-typed
+// parameters in scope; ctxInScope is the innermost visible set.
+func walk(pass *analysis.Pass, n ast.Node, ctxInScope []*types.Var) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			params := ctxParams(pass, n.Type)
+			if n.Body != nil {
+				walk(pass, n.Body, params) // fresh scope: decls don't nest
+			}
+			return false
+		case *ast.FuncLit:
+			// Closures capture enclosing ctx parameters.
+			walk(pass, n.Body, append(ctxInScope, ctxParams(pass, n.Type)...))
+			return false
+		case *ast.CallExpr:
+			fn := pass.Callee(n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if name := fn.Name(); (name == "Background" || name == "TODO") && len(ctxInScope) > 0 {
+				pass.Reportf(n.Pos(),
+					"context.%s() while %q is in scope detaches this work from the caller's deadline and cancellation; pass %s through",
+					name, ctxInScope[len(ctxInScope)-1].Name(), ctxInScope[len(ctxInScope)-1].Name())
+			}
+		}
+		return true
+	})
+}
+
+// ctxParams returns the parameters of ft whose type is
+// context.Context.
+func ctxParams(pass *analysis.Pass, ft *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if ok && isContext(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

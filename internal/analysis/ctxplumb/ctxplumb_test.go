@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/ctxplumb"
+)
+
+func TestCtxplumb(t *testing.T) {
+	analysistest.Run(t, ctxplumb.Analyzer, "ctxplumbtest")
+}

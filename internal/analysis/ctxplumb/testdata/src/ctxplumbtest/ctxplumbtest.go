@@ -1,0 +1,52 @@
+// Package ctxplumbtest is an analysistest fixture for ctxplumb.
+package ctxplumbtest
+
+import "context"
+
+type store struct{}
+
+func (s *store) get(ctx context.Context, key string) (string, error) {
+	_ = ctx
+	return key, nil
+}
+
+// Flagged: a fresh root discards the caller's deadline.
+func lookup(ctx context.Context, s *store, key string) (string, error) {
+	return s.get(context.Background(), key) // want "context.Background.. while .ctx. is in scope"
+}
+
+// Flagged: TODO is the same detachment with a different name.
+func lookupTODO(ctx context.Context, s *store, key string) (string, error) {
+	return s.get(context.TODO(), key) // want "context.TODO.. while .ctx. is in scope"
+}
+
+// Flagged: closures capture the enclosing ctx parameter.
+func lookupAsync(ctx context.Context, s *store, key string) <-chan string {
+	out := make(chan string, 1)
+	go func() {
+		v, _ := s.get(context.Background(), key) // want "context.Background.. while .ctx. is in scope"
+		out <- v
+	}()
+	return out
+}
+
+// Allowed: thread the ctx that is in scope.
+func lookupPlumbed(ctx context.Context, s *store, key string) (string, error) {
+	return s.get(ctx, key)
+}
+
+// Allowed: no ctx in scope — this is an entry point that owns its
+// root context.
+func lookupEntry(s *store, key string) (string, error) {
+	return s.get(context.Background(), key)
+}
+
+// Allowed: documented nil-guard suppression, the repo's one blessed
+// pattern for optional contexts on public API boundaries.
+func lookupOptionalCtx(ctx context.Context, s *store, key string) (string, error) {
+	if ctx == nil {
+		//lint:allow ctxplumb nil-ctx fallback: caller opted out of cancellation
+		ctx = context.Background()
+	}
+	return s.get(ctx, key)
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module
+// using only the standard library: `go list -json` for metadata and
+// the go/importer source importer for dependencies. All packages
+// loaded through one Loader share a FileSet and an importer cache.
+type Loader struct {
+	initOnce sync.Once
+	fset     *token.FileSet
+	imp      types.ImporterFrom
+	modDir   string
+	initErr  error
+}
+
+// NewLoader creates a Loader rooted at the module containing dir
+// (empty means the current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{modDir: dir}
+}
+
+func (l *Loader) init() error {
+	l.initOnce.Do(func() {
+		// The source importer resolves module import paths by
+		// shelling out to the go command from the context directory;
+		// cgo-tagged files would require running cgo, so force the
+		// pure-Go build configuration (every dependency of this repo
+		// has one).
+		build.Default.CgoEnabled = false
+		if l.modDir == "" {
+			l.modDir = "."
+		}
+		abs, err := filepath.Abs(l.modDir)
+		if err != nil {
+			l.initErr = err
+			return
+		}
+		l.modDir = abs
+		build.Default.Dir = abs
+		l.fset = token.NewFileSet()
+		imp, ok := importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+		if !ok {
+			l.initErr = fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+		}
+		l.imp = imp
+	})
+	return l.initErr
+}
+
+// Fset returns the shared FileSet (valid after the first Load).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...", "subtrav/internal/sim") to
+// packages and type-checks each one. Test files are not loaded: the
+// suite vets production code, and wall-clock or randomness use in
+// tests is legitimate.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.modDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Name = lp.Name
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every non-test .go file directly
+// under dir as a single package named by importPath. Used by the
+// analysistest harness, whose fixture packages live in testdata
+// directories the go tool will not list.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	pkg, err := l.check(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.Files) > 0 {
+		pkg.Name = pkg.Files[0].Name.Name
+	}
+	return pkg, nil
+}
+
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: contextImporter{imp: l.imp, dir: dir},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{
+		PkgPath: importPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// contextImporter pins the source importer's resolution directory to
+// the directory of the package under analysis, so relative and
+// module-internal import paths resolve the same way `go build` would
+// from that package.
+type contextImporter struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (c contextImporter) Import(path string) (*types.Package, error) {
+	return c.imp.ImportFrom(path, c.dir, 0)
+}
+
+func (c contextImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if dir == "" {
+		dir = c.dir
+	}
+	return c.imp.ImportFrom(path, dir, mode)
+}

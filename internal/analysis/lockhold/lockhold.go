@@ -1,0 +1,399 @@
+// Package lockhold enforces the hot-path locking invariant from the
+// scheduler/runtime design: code must not perform potentially
+// unbounded blocking — channel sends/receives, selects without a
+// default, net/disk I/O, time.Sleep, WaitGroup.Wait — while holding a
+// sync.Mutex or sync.RWMutex, and must not return with a mutex still
+// held unless the unlock is deferred. A blocked lock holder stalls
+// every unit that touches the same mutex, which is exactly the
+// convoy the balance-affinity scheduler exists to avoid.
+//
+// The check is a conservative, flow-insensitive walk over each
+// function body: lock state is tracked linearly through statement
+// lists and branch bodies inherit (a copy of) the state at entry.
+// Function literals are analyzed as independent functions, since a
+// goroutine body does not hold its creator's locks.
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"subtrav/internal/analysis"
+)
+
+// Analyzer reports blocking operations and lock-leaking returns
+// performed while a sync mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "reports potentially blocking operations (channel ops, selects " +
+		"without default, net/file I/O, time.Sleep, WaitGroup.Wait) while a " +
+		"sync.Mutex/RWMutex is held, and returns that leak a lock with no " +
+		"deferred unlock",
+	Run: run,
+}
+
+// blockingFuncs maps "pkgpath.Name" of package-level functions that
+// can block indefinitely.
+var blockingFuncs = map[string]bool{
+	"time.Sleep":      true,
+	"net.Dial":        true,
+	"net.DialTimeout": true,
+	"net.Listen":      true,
+	"io.Copy":         true,
+	"io.ReadAll":      true,
+	"io.ReadFull":     true,
+}
+
+// blockingMethods maps method names to the package path of receiver
+// types on which they block (I/O on files, sockets and wrapped
+// readers; synchronization waits).
+var blockingMethods = map[string]map[string]bool{
+	"Read":      {"os": true, "net": true, "bufio": true, "io": true},
+	"ReadAt":    {"os": true},
+	"ReadFrom":  {"os": true, "net": true, "bufio": true},
+	"Write":     {"os": true, "net": true},
+	"WriteAt":   {"os": true},
+	"WriteTo":   {"net": true},
+	"Flush":     {"bufio": true},
+	"Sync":      {"os": true},
+	"Accept":    {"net": true},
+	"Wait":      {"sync": true, "os/exec": true},
+	"ReadBytes": {"bufio": true},
+	"ReadRune":  {"bufio": true},
+	"ReadByte":  {"bufio": true},
+}
+
+type lockMode uint8
+
+const (
+	plainHeld    lockMode = iota // Lock()ed, no defer seen: returns leak it
+	deferredHeld                 // defer Unlock() pending: returns are safe
+)
+
+// lockState maps a lock's receiver expression (printed form, e.g.
+// "u.mu") to how it is currently held.
+type lockState map[string]lockMode
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// anyHeld returns the lexically smallest held lock (deterministic
+// pick when several are held) and whether any is held at all.
+func (s lockState) anyHeld() (string, bool) {
+	best := ""
+	for k := range s {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best, best != ""
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w.block(n.Body.List, lockState{})
+				}
+				return false // nested FuncLits handled by the walk below
+			}
+			return true
+		})
+		// Analyze every function literal as its own function: a
+		// closure (often a goroutine body) starts with no locks held.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.block(lit.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block walks one statement list, threading lock state through it.
+func (w *walker) block(stmts []ast.Stmt, locks lockState) {
+	for _, s := range stmts {
+		w.stmt(s, locks)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, locks lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind, ok := w.lockOp(call); ok {
+				switch kind {
+				case opLock:
+					locks[key] = plainHeld
+				case opUnlock:
+					delete(locks, key)
+				}
+				return
+			}
+		}
+		w.exprs(locks, s.X)
+
+	case *ast.DeferStmt:
+		if key, kind, ok := w.lockOp(s.Call); ok && kind == opUnlock {
+			// defer mu.Unlock(): the lock survives to function exit
+			// but early returns no longer leak it.
+			if _, held := locks[key]; held {
+				locks[key] = deferredHeld
+			} else {
+				// Lock().../defer Unlock() idiom where the Lock call
+				// preceded in the same statement list was already
+				// handled; defer before lock (rare) — treat as
+				// deferred hold from here on.
+				locks[key] = deferredHeld
+			}
+			return
+		}
+		// Deferred blocking calls run at return, after this walk's
+		// scope; deliberately not flagged.
+
+	case *ast.ReturnStmt:
+		for key, mode := range locks {
+			if mode == plainHeld {
+				w.pass.Reportf(s.Pos(),
+					"return while %s is locked with no deferred unlock; the lock leaks on this path", key)
+			}
+		}
+		w.exprs(locks, returnExprs(s)...)
+
+	case *ast.BranchStmt:
+		// break/continue/goto while plainly locked can jump past the
+		// unlock; flag continue/break out of the critical section is
+		// noisy (loops commonly unlock before continue), so only
+		// goto is treated as a leak risk. Conservatively ignore.
+
+	case *ast.SendStmt:
+		if key, held := locks.anyHeld(); held {
+			w.pass.Reportf(s.Pos(), "channel send while %s is held; a full channel stalls every %s waiter", key, key)
+		}
+		w.exprs(locks, s.Value)
+
+	case *ast.AssignStmt:
+		w.exprs(locks, s.Rhs...)
+		w.exprs(locks, s.Lhs...)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(locks, vs.Values...)
+				}
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, locks)
+		}
+		w.exprs(locks, s.Cond)
+		w.block(s.Body.List, locks.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, locks.clone())
+		}
+
+	case *ast.BlockStmt:
+		w.block(s.List, locks)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, locks)
+		}
+		if s.Cond != nil {
+			w.exprs(locks, s.Cond)
+		}
+		w.block(s.Body.List, locks.clone())
+
+	case *ast.RangeStmt:
+		if t := w.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				if key, held := locks.anyHeld(); held {
+					w.pass.Reportf(s.Pos(), "range over channel while %s is held blocks until the channel closes", key)
+				}
+			}
+		}
+		w.exprs(locks, s.X)
+		w.block(s.Body.List, locks.clone())
+
+	case *ast.SelectStmt:
+		if key, held := locks.anyHeld(); held && !hasDefault(s) {
+			w.pass.Reportf(s.Pos(), "select with no default while %s is held can block indefinitely", key)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.block(cc.Body, locks.clone())
+			}
+		}
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, locks)
+		}
+		if s.Tag != nil {
+			w.exprs(locks, s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, locks.clone())
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, locks.clone())
+			}
+		}
+
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, locks)
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold our locks; its body is
+		// analyzed separately as a fresh function literal. Arguments
+		// are evaluated here, though.
+		w.exprs(locks, s.Call.Args...)
+	}
+}
+
+// exprs scans expressions evaluated while `locks` is the current
+// state, flagging receives and blocking calls. Function literal
+// bodies are skipped (analyzed independently).
+func (w *walker) exprs(locks lockState, es ...ast.Expr) {
+	key, held := locks.anyHeld()
+	if !held {
+		return
+	}
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					w.pass.Reportf(n.Pos(), "channel receive while %s is held; an empty channel stalls every %s waiter", key, key)
+				}
+			case *ast.CallExpr:
+				if name, ok := w.blockingCall(n); ok {
+					w.pass.Reportf(n.Pos(), "call to blocking %s while %s is held", name, key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+type lockOpKind uint8
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock calls on
+// sync.Mutex/RWMutex values and returns the receiver's printed form.
+func (w *walker) lockOp(call *ast.CallExpr) (key string, kind lockOpKind, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", 0, false
+	}
+	t := w.pass.TypesInfo.TypeOf(sel.X)
+	if t == nil || !isSyncMutex(t) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// blockingCall reports whether call invokes a known-blocking API,
+// returning a printable name.
+func (w *walker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := w.pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		full := fn.Pkg().Path() + "." + fn.Name()
+		return full, blockingFuncs[full]
+	}
+	pkgs := blockingMethods[fn.Name()]
+	if pkgs == nil {
+		return "", false
+	}
+	// The receiver's defining package decides: (*os.File).Read,
+	// (net.Conn).Read, (*bufio.Reader).Read all block.
+	recv := sig.Recv().Type()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		if tp := named.Obj().Pkg(); tp != nil && pkgs[tp.Path()] {
+			return "(" + tp.Path() + "." + named.Obj().Name() + ")." + fn.Name(), true
+		}
+	}
+	// Interface receivers (net.Conn, io.Reader) resolve to the
+	// interface's package via fn.Pkg().
+	if pkgs[fn.Pkg().Path()] {
+		return fn.Pkg().Path() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func returnExprs(r *ast.ReturnStmt) []ast.Expr { return r.Results }

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "lockholdtest")
+}

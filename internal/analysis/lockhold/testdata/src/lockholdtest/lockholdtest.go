@@ -1,0 +1,133 @@
+// Package lockholdtest is an analysistest fixture for lockhold.
+package lockholdtest
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type unit struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	queue chan int
+	n     int
+}
+
+// Flagged: a send on a possibly-full channel stalls every mu waiter.
+func (u *unit) sendUnderLock(v int) {
+	u.mu.Lock()
+	u.queue <- v // want "channel send while u.mu is held"
+	u.mu.Unlock()
+}
+
+// Flagged: a receive can block forever while holding the lock.
+func (u *unit) recvUnderLock() int {
+	u.mu.Lock()
+	v := <-u.queue // want "channel receive while u.mu is held"
+	u.mu.Unlock()
+	return v
+}
+
+// Allowed: move the blocking op outside the critical section.
+func (u *unit) sendOutsideLock(v int) {
+	u.mu.Lock()
+	u.n++
+	u.mu.Unlock()
+	u.queue <- v
+}
+
+// Flagged: the early return leaks the lock on the n==0 path.
+func (u *unit) leakyEarlyReturn() int {
+	u.mu.Lock()
+	if u.n == 0 {
+		return 0 // want "return while u.mu is locked with no deferred unlock"
+	}
+	n := u.n
+	u.mu.Unlock()
+	return n
+}
+
+// Allowed: a deferred unlock makes every return path safe.
+func (u *unit) deferredUnlock() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.n == 0 {
+		return 0
+	}
+	return u.n
+}
+
+// Allowed: unlock-then-return inside the branch.
+func (u *unit) branchUnlocks() int {
+	u.mu.Lock()
+	if u.n == 0 {
+		u.mu.Unlock()
+		return 0
+	}
+	n := u.n
+	u.mu.Unlock()
+	return n
+}
+
+// Flagged: select with no default can park the goroutine while
+// holding the read lock.
+func (u *unit) selectUnderRLock(stop chan struct{}) {
+	u.rw.RLock()
+	select { // want "select with no default while u.rw is held"
+	case <-stop:
+	case v := <-u.queue:
+		u.n = v
+	}
+	u.rw.RUnlock()
+}
+
+// Allowed: a default arm makes the select non-blocking.
+func (u *unit) nonBlockingSelect() {
+	u.mu.Lock()
+	select {
+	case v := <-u.queue:
+		u.n = v
+	default:
+	}
+	u.mu.Unlock()
+}
+
+// Flagged: sleeping while holding a hot-path lock is a convoy.
+func (u *unit) sleepUnderLock() {
+	u.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to blocking time.Sleep while u.mu is held"
+	u.mu.Unlock()
+}
+
+// Flagged: socket I/O under a mutex ties lock hold time to the peer.
+func (u *unit) readUnderLock(conn net.Conn, buf []byte) (int, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return conn.Read(buf) // want "call to blocking .*Read while u.mu is held"
+}
+
+// Allowed: a goroutine spawned under the lock does not hold it.
+func (u *unit) spawnUnderLock() {
+	u.mu.Lock()
+	go func() {
+		v := <-u.queue
+		u.setN(v)
+	}()
+	u.mu.Unlock()
+}
+
+func (u *unit) setN(v int) {
+	u.mu.Lock()
+	u.n = v
+	u.mu.Unlock()
+}
+
+// Allowed: a documented suppression (bounded by construction: the
+// channel is buffered and drained by a dedicated goroutine).
+func (u *unit) suppressedSend(v int) {
+	u.mu.Lock()
+	//lint:allow lockhold queue is buffered NumUnits deep and drained unconditionally
+	u.queue <- v
+	u.mu.Unlock()
+}

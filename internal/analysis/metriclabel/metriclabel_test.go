@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/metriclabel"
+)
+
+func TestMetriclabel(t *testing.T) {
+	analysistest.Run(t, metriclabel.Analyzer, "metriclabeltest")
+}

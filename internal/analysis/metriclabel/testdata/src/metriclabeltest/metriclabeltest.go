@@ -1,0 +1,77 @@
+// Package metriclabeltest is an analysistest fixture for
+// metriclabel. It imports the real internal/obs package so the
+// analyzer matches genuine *obs.Registry call sites.
+package metriclabeltest
+
+import (
+	"fmt"
+	"strconv"
+
+	"subtrav/internal/obs"
+)
+
+type worker struct {
+	queryID int64
+}
+
+func wire(reg *obs.Registry, w *worker, units []int) {
+	// Allowed: constant, convention-following names.
+	good := reg.Counter("subtrav_fixture_requests_total", "Requests seen.")
+	good.Inc()
+	reg.Gauge("subtrav_fixture_depth", "Queue depth.")
+
+	// Flagged: name convention violations.
+	reg.Counter("fixture_requests_total", "Missing prefix.")   // want "violates the naming convention"
+	reg.Counter("subtrav_fixture_requests", "Not a _total.")   // want "counter .* must end in _total"
+	reg.Gauge("subtrav_fixture_depth_total", "Gauge as total") // want "non-counter .* must not end in _total"
+	reg.Histogram("subtrav_fixture_wait_sum", "Reserved.")     // want "reserves for histogram series"
+
+	// Flagged: a dynamic name is an unbounded family.
+	name := fmt.Sprintf("subtrav_fixture_%d_total", w.queryID)
+	reg.Counter(name, "Dynamic.") // want "not a compile-time constant"
+
+	// Allowed: per-unit labels are bounded by the unit count.
+	reg.Counter("subtrav_fixture_unit_hits_total", "Per unit.",
+		obs.L("unit", strconv.Itoa(units[0])))
+
+	// Flagged: label key convention.
+	reg.Counter("subtrav_fixture_bad_key_total", "Bad key.",
+		obs.L("Unit-ID", "0")) // want "label key .* violates the naming convention"
+
+	// Flagged: one series per query is a cardinality leak.
+	reg.Counter("subtrav_fixture_per_query_total", "Per query!",
+		obs.L("query", fmt.Sprintf("%d", w.queryID))) // want "label value derives from .*: one series per query/task"
+
+	// Flagged: series count grows with the iteration space.
+	for i := range units {
+		reg.Counter("subtrav_fixture_loop_total", "Per iteration!",
+			obs.L("slot", strconv.Itoa(i))) // want "label value derives from loop variable"
+	}
+
+	// Allowed: constant label values inside a loop are fine (same
+	// series each iteration).
+	for range units {
+		obs.L("kind", "fixed")
+	}
+
+	// Allowed: non-constant value with no identity/loop smell — the
+	// mode domain is three fixed values.
+	mode := modeName(len(units))
+	reg.Counter("subtrav_fixture_mode_total", "By mode.", obs.L("mode", mode))
+
+	// Allowed: documented suppression swallows a would-be finding (a
+	// debug registry deliberately keyed by query, bounded elsewhere).
+	//lint:allow metriclabel debug-only registry capped at 64 series by the harness
+	reg.Counter("subtrav_fixture_debug_total", "Debug.", obs.L("query", strconv.FormatInt(w.queryID, 10)))
+}
+
+func modeName(n int) string {
+	switch {
+	case n == 0:
+		return "off"
+	case n < 8:
+		return "sample"
+	default:
+		return "full"
+	}
+}

@@ -1,0 +1,139 @@
+// Package simdet enforces the repo's bit-for-bit determinism
+// invariant: the discrete-event simulator, generators and workload
+// synthesis must produce identical output for identical seeds, since
+// the paper's scheduler comparisons (Figures 8-12) subtract one run's
+// numbers from another's. Wall-clock reads, the process-global
+// math/rand source, and output emitted while ranging over a map all
+// break that property.
+package simdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"subtrav/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "flags wall-clock time (time.Now/Since/Until), the process-global " +
+		"math/rand source, and output emitted during map iteration in packages " +
+		"that must stay bit-for-bit deterministic; use the simulator's virtual " +
+		"clock and internal/xrand instead",
+	Run: run,
+}
+
+// wallClockFuncs are time-package functions that read the wall clock.
+// Construction helpers (time.Date, time.Unix) and arithmetic are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// globalRandOK lists math/rand package-level functions that do NOT
+// touch the shared global source; everything else at package level
+// does (Intn, Float64, Perm, Shuffle, Seed, Read, ...).
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "time" && fn.Type().(*types.Signature).Recv() == nil && wallClockFuncs[name]:
+		pass.Reportf(call.Pos(),
+			"wall-clock time.%s in deterministic code; use the simulator's virtual clock (sim event time / signature.Clock)", name)
+	case (pkg == "math/rand" || pkg == "math/rand/v2") &&
+		fn.Type().(*types.Signature).Recv() == nil && !globalRandOK[name]:
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from the process-wide source; use a seeded internal/xrand.RNG", pkg, name)
+	}
+}
+
+// checkMapRange reports map iterations whose body emits output
+// (printing, writing, or sending on a channel) during the loop: Go
+// map order is randomized, so anything observable produced inside the
+// loop is nondeterministic. Accumulating into a slice and sorting
+// after the loop is the blessed pattern and is not flagged.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure is not necessarily called during iteration.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send during map iteration: map order is randomized, so delivery order is nondeterministic; collect and sort first")
+			return false
+		case *ast.CallExpr:
+			if fn := pass.Callee(n); fn != nil && isEmit(fn) {
+				pass.Reportf(n.Pos(),
+					"%s.%s during map iteration emits in randomized map order; collect keys, sort, then emit", fn.Pkg().Path(), fn.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isEmit reports whether fn produces externally observable output.
+func isEmit(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+	case "io":
+		if fn.Name() == "WriteString" || fn.Name() == "Copy" {
+			return true
+		}
+	}
+	// Method named Write/WriteString on anything (io.Writer
+	// implementations, bufio, strings.Builder excepted would be
+	// over-reach; keep to the io.Writer contract).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if fn.Name() == "Write" || fn.Name() == "WriteString" {
+			// strings.Builder / bytes.Buffer writes stay in memory and
+			// are frequently sorted afterwards... but appending to a
+			// buffer during map iteration is exactly the
+			// Fprintf-to-builder bug simdet exists to catch. Flag
+			// them; accumulate-and-sort code uses append, not Write.
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+// Package suite assembles the subtrav-vet analyzers and the policy
+// of where each applies. Analyzers are pure pattern detectors; this
+// is the single place that encodes which packages carry which
+// invariant, shared by the cmd/subtrav-vet driver and the smoke test.
+package suite
+
+import (
+	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/atomicmix"
+	"subtrav/internal/analysis/ctxplumb"
+	"subtrav/internal/analysis/lockhold"
+	"subtrav/internal/analysis/metriclabel"
+	"subtrav/internal/analysis/simdet"
+)
+
+// Analyzers returns the five checks in their canonical order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		simdet.Analyzer,
+		atomicmix.Analyzer,
+		lockhold.Analyzer,
+		ctxplumb.Analyzer,
+		metriclabel.Analyzer,
+	}
+}
+
+// Scopes maps each analyzer to the packages its invariant governs.
+func Scopes() map[string]analysis.Scope {
+	return map[string]analysis.Scope{
+		// Bit-for-bit determinism is a property of the simulator and
+		// everything that feeds it: graph generation, workload
+		// synthesis, and the auction solver whose tie-breaks the
+		// paper's figures compare. The live runtime measures real
+		// time by design and is exempt.
+		simdet.Analyzer.Name: {Paths: []string{
+			"subtrav/internal/sim",
+			"subtrav/internal/graphgen",
+			"subtrav/internal/auction",
+			"subtrav/internal/workload",
+		}},
+		// Mixed atomic/plain access is a bug anywhere.
+		atomicmix.Analyzer.Name: {},
+		// The lock-hold discipline governs the hot path: runtime,
+		// scheduler, simulator, cache, storage and the metrics layer
+		// they all call into. Command wiring and the RPC service
+		// (which serializes socket writes under a lock by design)
+		// are exempt.
+		lockhold.Analyzer.Name: {Paths: []string{
+			"subtrav/internal/live",
+			"subtrav/internal/sched",
+			"subtrav/internal/sim",
+			"subtrav/internal/cache",
+			"subtrav/internal/storage",
+			"subtrav/internal/obs",
+			"subtrav/internal/metrics",
+		}},
+		// Library code must plumb contexts; main packages own root
+		// contexts legitimately.
+		ctxplumb.Analyzer.Name: {SkipMain: true},
+		// Metric hygiene is a property of every registry call site.
+		metriclabel.Analyzer.Name: {},
+	}
+}

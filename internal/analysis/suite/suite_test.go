@@ -1,0 +1,61 @@
+package suite_test
+
+import (
+	"strings"
+	"testing"
+
+	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/suite"
+)
+
+// TestSuiteWiring asserts every analyzer is well-formed and every
+// scope refers to a real analyzer, so a renamed analyzer cannot
+// silently orphan its policy.
+func TestSuiteWiring(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range suite.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc or Run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for name, scope := range suite.Scopes() {
+		if !names[name] {
+			t.Errorf("scope for unknown analyzer %q", name)
+		}
+		for _, p := range scope.Paths {
+			if !strings.HasPrefix(p, "subtrav/") {
+				t.Errorf("scope path %q for %s is not module-qualified", p, name)
+			}
+		}
+	}
+}
+
+// TestRepoIsClean is the driver smoke test: the full suite over the
+// entire module must come back with zero findings — the same gate
+// the CI static-analysis job enforces with cmd/subtrav-vet. It also
+// exercises the loader end to end (go list, parsing, source-importer
+// type-checking of every package).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load("subtrav/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; go list pattern broken?", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, suite.Analyzers(), suite.Scopes())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

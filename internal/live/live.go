@@ -420,6 +420,10 @@ func (r *Runtime) Submit(q traverse.Query) (<-chan Response, error) {
 // SubmitCtx returns a *RejectedError (errors.Is ErrQueueFull).
 func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Response, error) {
 	if ctx == nil {
+		// A nil ctx means the caller opted out of cancellation
+		// entirely (Submit's documented contract): there is no caller
+		// context to detach from, so a fresh root is the correct one.
+		//lint:allow ctxplumb nil-ctx fallback for the documented Submit contract
 		ctx = context.Background()
 	}
 	if err := q.Validate(r.g); err != nil {
