@@ -7,7 +7,9 @@
 //	subtrav-bench [flags] <experiment>
 //
 // where <experiment> is one of: fig8, fig9, fig10, fig11, fig12,
-// ablation, epsilon, warmstart, all.
+// ablation, epsilon, warmstart, all — or "sched", which runs the
+// scheduler hot-path microbenchmarks (internal/schedbench) and writes
+// the tracked BENCH_sched.json baseline instead of a table.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 
 	"subtrav"
 	"subtrav/internal/experiments"
+	"subtrav/internal/schedbench"
 )
 
 func main() {
@@ -29,9 +32,11 @@ func main() {
 		scale  = flag.String("scale", "small", "graph scale: tiny, small, medium, large, paper")
 		units  = flag.String("units", "", "comma-separated unit sweep override, e.g. 1,2,4,8")
 		n      = flag.Int("queries", 0, "queries per run override")
+		out    = flag.String("out", "BENCH_sched.json", "output path for the sched benchmark report")
+		par    = flag.Int("parallelism", 0, "sched benchmark: scorer row-construction goroutines (0 = sequential)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -117,6 +122,8 @@ func main() {
 			renderOne(experiments.SignatureCapacity(cfg))
 		case "eta":
 			renderOne(experiments.EtaThreshold(cfg))
+		case "sched":
+			runSched(*quick, *par, *out)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -131,6 +138,32 @@ func main() {
 		return
 	}
 	run(target)
+}
+
+// runSched executes the scheduler hot-path microbenchmark suite and
+// writes the BENCH_sched.json report. -quick maps to smoke mode
+// (single-iteration cells — proves the suite runs, numbers are noise);
+// the default calibrates iteration counts for a trackable baseline.
+func runSched(smoke bool, parallelism int, path string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := schedbench.Run(smoke, parallelism, logf)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results, smoke=%v)\n", path, len(rep.Results), rep.Smoke)
 }
 
 func parseScale(s string) (subtrav.Scale, bool) {

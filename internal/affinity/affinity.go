@@ -8,6 +8,7 @@ package affinity
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"subtrav/internal/graph"
 	"subtrav/internal/signature"
@@ -53,6 +54,12 @@ type Config struct {
 	// still matters implicitly because n' grows with it. ChurnScale
 	// (default 1) sharpens or softens the cutoff.
 	ChurnScale float64
+	// Parallelism is the number of goroutines BuildAnchors uses to
+	// construct matrix rows after the per-round vertex snapshots are
+	// in place; 0 or 1 keeps row construction sequential (the
+	// default). Rows are written by index, so the resulting Matrix is
+	// identical regardless of goroutine interleaving.
+	Parallelism int
 }
 
 // DefaultConfig returns scorer parameters tuned for the simulator's
@@ -77,18 +84,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("affinity: AvgSubgraphBytes = %d, want > 0", c.AvgSubgraphBytes)
 	case c.ChurnScale <= 0:
 		return fmt.Errorf("affinity: ChurnScale = %g, want > 0", c.ChurnScale)
+	case c.Parallelism < 0:
+		return fmt.Errorf("affinity: Parallelism = %d, want >= 0", c.Parallelism)
 	}
 	return nil
 }
 
 // Scorer evaluates subgraph-processor affinities against a graph, its
 // visit-signature table and a clock. Safe for concurrent use (the
-// signature table is internally synchronized; the rest is read-only).
+// signature table is internally synchronized, the scratch pool hands
+// each concurrent round its own buffers; the rest is read-only).
 type Scorer struct {
 	g     *graph.Graph
 	sigs  *signature.Table
 	clock signature.Clock
 	cfg   Config
+
+	// scratch pools per-round snapshot caches and scoring buffers so
+	// steady-state BuildAnchors rounds allocate O(1) (see snapshot.go).
+	scratch sync.Pool
 }
 
 // NewScorer builds a scorer; the config must validate.
@@ -99,7 +113,9 @@ func NewScorer(g *graph.Graph, sigs *signature.Table, clock signature.Clock, cfg
 	if g == nil || sigs == nil || clock == nil {
 		return nil, fmt.Errorf("affinity: graph, signature table and clock are required")
 	}
-	return &Scorer{g: g, sigs: sigs, clock: clock, cfg: cfg}, nil
+	s := &Scorer{g: g, sigs: sigs, clock: clock, cfg: cfg}
+	s.scratch.New = func() any { return newRoundScratch() }
+	return s, nil
 }
 
 // Config returns the scorer configuration.
@@ -194,21 +210,28 @@ type Matrix struct {
 
 // Build constructs the matrix for a batch of traversal start vertices
 // over the given units (indexed by position; position is the processor
-// ID used against the signature table).
+// ID used against the signature table). The starts slice is copied:
+// the anchors keep their identity even if the caller mutates starts
+// after Build returns (contract pinned by TestBuildCopiesStarts).
 func (s *Scorer) Build(starts []graph.VertexID, units []UnitView) Matrix {
-	anchors := make([][]graph.VertexID, len(starts))
-	for i, v := range starts {
-		anchors[i] = starts[i : i+1]
-		_ = v
+	copied := make([]graph.VertexID, len(starts))
+	copy(copied, starts)
+	anchors := make([][]graph.VertexID, len(copied))
+	for i := range copied {
+		anchors[i] = copied[i : i+1]
 	}
 	return s.BuildAnchors(anchors, units)
 }
 
-// BuildAnchors generalizes Build for tasks with several affinity
-// anchors: a task's score against a unit is the best anchor score.
-// Bounded bidirectional SSSP uses this — its footprint is two balls,
-// one around each endpoint, so both endpoints anchor its affinity.
-func (s *Scorer) BuildAnchors(anchors [][]graph.VertexID, units []UnitView) Matrix {
+// BuildAnchorsReference is the executable specification of
+// BuildAnchors: the straightforward per-(vertex, unit) formulation
+// that scores every pair independently through ScoreAnchors, paying
+// one signature-list scan per pair. BuildAnchors produces an
+// identical Matrix from per-round vertex snapshots at a fraction of
+// the cost; the differential tests and the scheduler hot-path
+// benchmarks (internal/schedbench) hold the two paths against each
+// other. Use BuildAnchors everywhere else.
+func (s *Scorer) BuildAnchorsReference(anchors [][]graph.VertexID, units []UnitView) Matrix {
 	m := Matrix{NumUnits: len(units), Rows: make([][]Entry, len(anchors))}
 	for i, vs := range anchors {
 		var row []Entry

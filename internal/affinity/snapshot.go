@@ -1,0 +1,303 @@
+// Per-round snapshot-cache implementation of BuildAnchors.
+//
+// The scheduler's per-round cost used to be dominated by signature
+// reads: scoring a batch of B tasks over P units with average degree d
+// called signature.Table.LatestByProc once per (vertex, unit) pair —
+// B·P·(1+d) shard-lock acquisitions, with the same ≤capacity-entry
+// list rescanned P times per vertex and again for every task sharing a
+// neighbor. This file replaces that with a per-round vertex snapshot
+// cache: each vertex's signature list is read exactly once per round
+// (one lock, one scan — Table.LatestAll), yielding a P-wide array of
+// per-processor latest-visit timestamps that serves every unit and
+// every task touching that vertex. Scratch buffers are pooled on the
+// Scorer, so steady-state rounds allocate O(1): the returned Matrix's
+// row headers and one flat entry arena.
+//
+// Determinism: rows are computed from immutable snapshots taken at a
+// single clock reading, entries are emitted in ascending unit order,
+// and (in parallel mode) each row is written only by the goroutine
+// that owns its index — the output Matrix is bit-for-bit identical to
+// BuildAnchorsReference's under a quiescent signature table,
+// regardless of Parallelism.
+
+package affinity
+
+import (
+	"math"
+	"sync"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/signature"
+)
+
+// roundScratch is the pooled per-round state of one BuildAnchors call.
+type roundScratch struct {
+	// snapOff maps a vertex to the offset of its P-wide latest-visit
+	// snapshot inside snapBuf. Offsets (not slices) are stored so the
+	// buffer can grow by reallocation without invalidating the map.
+	snapOff map[graph.VertexID]int
+	snapBuf []int64
+
+	// Per-unit quantities hoisted once per round: queue lengths and
+	// memory budgets feed Eq. 3's churn exponent, wdenom is Eq. 4's
+	// denominator w_p + ε̃.
+	queues []int
+	mems   []int64
+	wdenom []float64
+
+	// row is the scoring scratch of the sequential path; parallel
+	// workers bring their own.
+	row rowScratch
+
+	// spans records [start, end) of each row inside the entry arena.
+	spans [][2]int
+
+	// lastEntries remembers the previous round's total entry count so
+	// the next arena is sized right in one allocation.
+	lastEntries int
+}
+
+// rowScratch holds the P-wide accumulators used to score one task row.
+type rowScratch struct {
+	hits   []int32   // per-unit hit count over {v} ∪ Γ(v) (Eq. 1 numerator)
+	latest []int64   // per-unit freshest visit among counted vertices (t_p)
+	best   []float64 // per-unit best Eq. 2 score over the task's anchors
+	spill  []int64   // parallel-mode fallback snapshot buffer
+}
+
+func newRoundScratch() *roundScratch {
+	return &roundScratch{snapOff: make(map[graph.VertexID]int)}
+}
+
+// reset prepares the scratch for a round over P units.
+func (sc *roundScratch) reset(p int) {
+	clear(sc.snapOff)
+	sc.snapBuf = sc.snapBuf[:0]
+	sc.queues = growSlice(sc.queues, p)
+	sc.mems = growSlice(sc.mems, p)
+	sc.wdenom = growSlice(sc.wdenom, p)
+	sc.row.resize(p)
+	sc.spans = sc.spans[:0]
+}
+
+func (rs *rowScratch) resize(p int) {
+	rs.hits = growSlice(rs.hits, p)
+	rs.latest = growSlice(rs.latest, p)
+	rs.best = growSlice(rs.best, p)
+}
+
+// growSlice returns s with length n, reusing its backing array when
+// large enough. Contents are unspecified.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// snapshot returns the P-wide latest-visit array of v, reading the
+// signature table (one lock, one scan) only on the first request of
+// the round. Not safe for concurrent use — parallel row construction
+// pre-populates every snapshot first and then reads via snapshotRO.
+func (sc *roundScratch) snapshot(sigs *signature.Table, v graph.VertexID, p int) []int64 {
+	if off, ok := sc.snapOff[v]; ok {
+		return sc.snapBuf[off : off+p]
+	}
+	off := len(sc.snapBuf)
+	if cap(sc.snapBuf) < off+p {
+		grown := make([]int64, off, 2*(off+p))
+		copy(grown, sc.snapBuf)
+		sc.snapBuf = grown
+	}
+	sc.snapBuf = sc.snapBuf[:off+p]
+	out := sc.snapBuf[off : off+p]
+	sigs.LatestAll(v, out)
+	sc.snapOff[v] = off
+	return out
+}
+
+// snapshotRO is the read-only lookup used by parallel workers after
+// the pre-population pass. A miss (impossible when pre-population
+// covered the same vertex set, but cheap to tolerate) reads the table
+// directly into the worker's spill buffer.
+func (sc *roundScratch) snapshotRO(sigs *signature.Table, v graph.VertexID, p int, rs *rowScratch) []int64 {
+	if off, ok := sc.snapOff[v]; ok {
+		return sc.snapBuf[off : off+p]
+	}
+	rs.spill = growSlice(rs.spill, p)
+	sigs.LatestAll(v, rs.spill)
+	return rs.spill
+}
+
+// BuildAnchors builds the sparse workload-aware affinity matrix for
+// tasks identified by their anchor vertex sets: a task's score against
+// a unit is the best Eq. 2 score over its anchors (bounded
+// bidirectional SSSP anchors on both endpoints — its footprint is two
+// balls, one around each endpoint). Each distinct vertex in the
+// batch's anchor closure is read from the signature table exactly once
+// per call regardless of the unit count or of how many tasks share it;
+// see the package comment above for the full cost argument. Rows hold
+// entries in ascending unit order and sub-slice one shared arena
+// (capacity-capped, so appending to a row copies it). Equivalent to
+// BuildAnchorsReference, at ≥P× fewer signature-lock acquisitions.
+func (s *Scorer) BuildAnchors(anchors [][]graph.VertexID, units []UnitView) Matrix {
+	m := Matrix{NumUnits: len(units), Rows: make([][]Entry, len(anchors))}
+	if len(anchors) == 0 || len(units) == 0 {
+		return m
+	}
+	sc := s.scratch.Get().(*roundScratch)
+	sc.reset(len(units))
+	now := s.clock.Now()
+	for p, unit := range units {
+		sc.queues[p] = unit.QueueLen()
+		sc.mems[p] = unit.MemoryBudget()
+		sc.wdenom[p] = float64(sc.queues[p]) + s.cfg.EpsilonTilde
+	}
+	if w := s.cfg.Parallelism; w > 1 && len(anchors) > 1 {
+		s.buildRowsParallel(m.Rows, anchors, units, sc, now, w)
+	} else {
+		s.buildRowsSequential(m.Rows, anchors, units, sc, now)
+	}
+	s.scratch.Put(sc)
+	return m
+}
+
+// buildRowsSequential scores every task row on the calling goroutine,
+// packing entries into one arena sized from the previous round.
+func (s *Scorer) buildRowsSequential(rows [][]Entry, anchors [][]graph.VertexID, units []UnitView, sc *roundScratch, now int64) {
+	p := len(units)
+	capHint := sc.lastEntries
+	if capHint < 16 {
+		capHint = 16
+	}
+	entries := make([]Entry, 0, capHint)
+	for _, vs := range anchors {
+		s.bestScores(vs, units, sc, &sc.row, now, false)
+		start := len(entries)
+		for u := 0; u < p; u++ {
+			if sc.row.best[u] > s.cfg.Eta {
+				entries = append(entries, Entry{Unit: u, Benefit: sc.row.best[u] / sc.wdenom[u]})
+			}
+		}
+		sc.spans = append(sc.spans, [2]int{start, len(entries)})
+	}
+	sc.lastEntries = len(entries)
+	for i, sp := range sc.spans {
+		if sp[1] > sp[0] {
+			rows[i] = entries[sp[0]:sp[1]:sp[1]]
+		}
+	}
+}
+
+// buildRowsParallel pre-populates the snapshot cache sequentially
+// (map writes are single-threaded), then fans row construction out to
+// workers striding over row indices. Workers only read the frozen
+// cache and write disjoint rows, so the result is deterministic.
+func (s *Scorer) buildRowsParallel(rows [][]Entry, anchors [][]graph.VertexID, units []UnitView, sc *roundScratch, now int64, workers int) {
+	p := len(units)
+	for _, vs := range anchors {
+		for _, v := range vs {
+			sc.snapshot(s.sigs, v, p)
+			for _, u := range s.g.Neighbors(v) {
+				sc.snapshot(s.sigs, u, p)
+			}
+		}
+	}
+	if workers > len(anchors) {
+		workers = len(anchors)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := &rowScratch{}
+			rs.resize(p)
+			for i := w; i < len(anchors); i += workers {
+				s.bestScores(anchors[i], units, sc, rs, now, true)
+				var row []Entry
+				for u := 0; u < p; u++ {
+					if rs.best[u] > s.cfg.Eta {
+						row = append(row, Entry{Unit: u, Benefit: rs.best[u] / sc.wdenom[u]})
+					}
+				}
+				rows[i] = row
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// bestScores fills rs.best with each unit's best Eq. 2 score over the
+// task's anchors: for every anchor it combines the anchor's snapshot
+// with its neighbors' snapshots into per-unit hit counts (Eq. 1) and
+// freshest timestamps (t_p), then applies the churn decay. Arithmetic
+// mirrors Score/structuralAndLatest operation for operation so the
+// result is bit-identical to the reference path.
+func (s *Scorer) bestScores(vs []graph.VertexID, units []UnitView, sc *roundScratch, rs *rowScratch, now int64, ro bool) {
+	p := len(units)
+	for u := range rs.best {
+		rs.best[u] = 0
+	}
+	for _, v := range vs {
+		snapV := sc.lookup(s.sigs, v, p, rs, ro)
+		neighbors := s.g.Neighbors(v)
+		for u := 0; u < p; u++ {
+			if t := snapV[u]; t != signature.NoVisit {
+				rs.hits[u] = 1
+				rs.latest[u] = t
+			} else {
+				rs.hits[u] = 0
+				rs.latest[u] = signature.NoVisit
+			}
+		}
+		for _, nb := range neighbors {
+			snapN := sc.lookup(s.sigs, nb, p, rs, ro)
+			for u := 0; u < p; u++ {
+				if t := snapN[u]; t != signature.NoVisit {
+					rs.hits[u]++
+					if t > rs.latest[u] {
+						rs.latest[u] = t
+					}
+				}
+			}
+		}
+		denom := float64(1 + len(neighbors))
+		for u := 0; u < p; u++ {
+			if rs.hits[u] == 0 {
+				continue
+			}
+			score := float64(rs.hits[u]) / denom * s.decayAt(now, rs.latest[u], sc.mems[u], sc.queues[u], units[u])
+			if score > rs.best[u] {
+				rs.best[u] = score
+			}
+		}
+	}
+}
+
+// lookup dispatches between the mutating and read-only snapshot paths.
+func (sc *roundScratch) lookup(sigs *signature.Table, v graph.VertexID, p int, rs *rowScratch, ro bool) []int64 {
+	if ro {
+		return sc.snapshotRO(sigs, v, p, rs)
+	}
+	return sc.snapshot(sigs, v, p)
+}
+
+// decayAt is decay (Eq. 2-3) with the round-invariant inputs — the
+// clock reading, the unit's memory budget and queue length — hoisted
+// out of the per-pair loop. Must stay arithmetically identical to
+// Scorer.decay.
+func (s *Scorer) decayAt(now, tp int64, mem int64, queue int, unit UnitView) float64 {
+	if mem <= 0 {
+		return 1 // unlimited memory: cached data never expires
+	}
+	if now <= tp {
+		return 1
+	}
+	churned := queue + unit.CompletedSince(tp)
+	if churned == 0 {
+		return 1
+	}
+	exponent := s.cfg.ChurnScale * float64(churned) * float64(s.cfg.AvgSubgraphBytes) / float64(mem)
+	return math.Exp(-exponent)
+}

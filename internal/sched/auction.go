@@ -198,15 +198,21 @@ func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, o
 			// segment; a task that lost its unit to a same-affinity
 			// sibling should still follow its data (the sibling will
 			// have warmed exactly the records it needs), so it queues
-			// on its best workload-weighted unit rather than
-			// scattering to the least-loaded one.
-			best := matrix.Rows[i][0]
-			for _, e := range matrix.Rows[i][1:] {
+			// on its best unit rather than scattering to the
+			// least-loaded one. "Best" is judged on the same benefits
+			// the auction compared — problem.Rows, where the
+			// affinity-only ablation has already undone the Eq. 4
+			// queue weighting. Picking from the workload-weighted
+			// matrix row here would leak balance information into the
+			// ablation.
+			arcs := problem.Rows[i]
+			best := arcs[0]
+			for _, e := range arcs[1:] {
 				if e.Benefit > best.Benefit {
 					best = e
 				}
 			}
-			unit = best.Unit
+			unit = best.Col
 			a.fellBack.Add(1)
 			expl[i].FellBack = true
 		default:

@@ -1,0 +1,217 @@
+package schedbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"subtrav/internal/graph"
+)
+
+// Result is one measured benchmark cell.
+type Result struct {
+	// Name follows the go-bench convention, e.g.
+	// "BuildAnchors/snap/P=16/deg=8".
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// LocksPerOp is the signature-table shard-lock acquisitions per
+	// operation (only meaningful for cells that read the table).
+	LocksPerOp float64 `json:"locks_per_op,omitempty"`
+	// BuildsPerSec is 1e9/NsPerOp for matrix-build cells.
+	BuildsPerSec float64 `json:"builds_per_sec,omitempty"`
+}
+
+// Speedup compares the snapshot BuildAnchors against the reference
+// path for one (P, degree) cell, both measured in the same process.
+type Speedup struct {
+	// NsRatio is reference ns/op divided by snapshot ns/op (>1 means
+	// the snapshot path is faster).
+	NsRatio float64 `json:"ns_ratio"`
+	// LockRatio is reference locks/op divided by snapshot locks/op.
+	LockRatio float64 `json:"lock_ratio"`
+}
+
+// Report is the BENCH_sched.json payload: environment metadata, the
+// per-cell results, and the snapshot-vs-reference speedup matrix. It
+// deliberately carries no timestamps or hostnames, so regenerating it
+// on the same machine produces a meaningful diff.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Smoke marks a -benchtime=1x-style run whose numbers only prove
+	// the suite executes; comparisons need a full run.
+	Smoke bool `json:"smoke"`
+
+	Results []Result           `json:"results"`
+	Speedup map[string]Speedup `json:"speedup"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measurement is the raw outcome of timing iters calls of a closure.
+type measurement struct {
+	iters  int
+	ns     float64
+	allocs float64
+	bytes  float64
+}
+
+// measure times iters executions of fn with alloc accounting. The
+// emitter hand-rolls this instead of driving testing.Benchmark so the
+// smoke/full iteration policy is explicit and independent of testing
+// flags (the go-test bench suite in bench_test.go covers that side).
+func measure(iters int, fn func()) measurement {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return measurement{
+		iters:  iters,
+		ns:     float64(elapsed.Nanoseconds()) / n,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / n,
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+}
+
+// calibrate picks an iteration count targeting ~200ms of measured
+// work (1 in smoke mode), after a warmup that also pages in lazily
+// built state.
+func calibrate(smoke bool, fn func()) int {
+	if smoke {
+		fn() // still warm up so the measured single op is honest
+		return 1
+	}
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 20*time.Millisecond || iters >= 1<<16 {
+			perOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			target := int(200e6 / perOp)
+			if target < 10 {
+				target = 10
+			}
+			if target > 100000 {
+				target = 100000
+			}
+			return target
+		}
+		iters *= 2
+	}
+}
+
+// Run executes the scheduler hot-path suite and assembles the report.
+// smoke runs every cell once (CI); a full run calibrates iteration
+// counts for stable numbers. parallelism is the scorer knob for the
+// snapshot path (the reference path ignores it).
+func Run(smoke bool, parallelism int, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     smoke,
+		Speedup:   make(map[string]Speedup),
+	}
+
+	for _, p := range UnitCounts {
+		for _, deg := range Degrees {
+			fx, err := NewFixture(p, deg, parallelism)
+			if err != nil {
+				return nil, err
+			}
+			cell := fmt.Sprintf("P=%d/deg=%d", p, deg)
+
+			snap := runBuild(rep, "BuildAnchors/snap/"+cell, smoke, fx, func() {
+				fx.Scorer.BuildAnchors(fx.Anchors, fx.Units)
+			})
+			ref := runBuild(rep, "BuildAnchors/ref/"+cell, smoke, fx, func() {
+				fx.Scorer.BuildAnchorsReference(fx.Anchors, fx.Units)
+			})
+			rep.Speedup[cell] = Speedup{
+				NsRatio:   ratio(ref.NsPerOp, snap.NsPerOp),
+				LockRatio: ratio(ref.LocksPerOp, snap.LocksPerOp),
+			}
+			logf("%-28s snap %.0f ns/op %.0f locks/op | ref %.0f ns/op %.0f locks/op (%.1fx ns, %.1fx locks)",
+				cell, snap.NsPerOp, snap.LocksPerOp, ref.NsPerOp, ref.LocksPerOp,
+				rep.Speedup[cell].NsRatio, rep.Speedup[cell].LockRatio)
+		}
+	}
+
+	for _, p := range UnitCounts {
+		fx, err := NewFixture(p, 8, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		runBuild(rep, fmt.Sprintf("DispatchRound/P=%d/deg=8", p), smoke, fx, func() {
+			fx.Auction.Assign(fx.Tasks, fx.UnitStates)
+		})
+	}
+
+	for _, p := range UnitCounts {
+		fx, err := NewFixture(p, 8, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		var v, t int64
+		runBuild(rep, fmt.Sprintf("Record/P=%d", p), smoke, fx, func() {
+			t++
+			v++
+			fx.Sigs.Record(graph.VertexID(v%NumVertices), int32(v%int64(p)), t)
+		})
+	}
+	return rep, nil
+}
+
+// runBuild measures one cell (with signature-lock accounting) and
+// appends it to the report.
+func runBuild(rep *Report, name string, smoke bool, fx *Fixture, fn func()) Result {
+	iters := calibrate(smoke, fn)
+	lock0 := fx.Sigs.LockAcquisitions()
+	m := measure(iters, fn)
+	locks := float64(fx.Sigs.LockAcquisitions()-lock0) / float64(m.iters)
+	res := Result{
+		Name:        name,
+		Iters:       m.iters,
+		NsPerOp:     m.ns,
+		AllocsPerOp: m.allocs,
+		BytesPerOp:  m.bytes,
+		LocksPerOp:  locks,
+	}
+	if m.ns > 0 {
+		res.BuildsPerSec = 1e9 / m.ns
+	}
+	rep.Results = append(rep.Results, res)
+	return res
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,177 @@
+// Package schedbench builds the reproducible scheduler hot-path
+// benchmark workloads shared by the `go test -bench` suite
+// (bench_test.go) and the `subtrav-bench sched` command, which runs
+// the same workloads and emits the tracked BENCH_sched.json artifact
+// (see report.go). The fixtures pin every source of randomness to a
+// seed, so two runs on the same machine measure the same work.
+//
+// The suite covers the three operations that dominate a scheduling
+// round (Figure 6 pipeline):
+//
+//   - BuildAnchors — the workload-aware affinity matrix build, in both
+//     its snapshot-cache form and the per-(vertex, unit) reference
+//     form, so every report carries its own before/after baseline;
+//   - DispatchRound — a full Auction.Assign segment (matrix build +
+//     auction + fallbacks);
+//   - Record — signature-table visit recording, the traversal-side
+//     half of the signature contract.
+package schedbench
+
+import (
+	"fmt"
+
+	"subtrav/internal/affinity"
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/sched"
+	"subtrav/internal/signature"
+	"subtrav/internal/traverse"
+	"subtrav/internal/xrand"
+)
+
+// NumVertices is the fixture graph size. Large enough that signature
+// shards and caches see realistic spread, small enough to build in
+// milliseconds.
+const NumVertices = 4096
+
+// Seed pins fixture generation.
+const Seed = 0x5EDBE7C4
+
+// unit is a canned unit view/state with plausible mixed load.
+type unit struct {
+	queue     int
+	completed int
+	memory    int64
+}
+
+func (u *unit) QueueLen() int              { return u.queue }
+func (u *unit) CompletedSince(t int64) int { return u.completed }
+func (u *unit) MemoryBudget() int64        { return u.memory }
+func (u *unit) Busy() bool                 { return u.queue > 0 }
+
+// Fixture is one reproducible scheduler hot-path workload: a seeded
+// random graph of the given average degree, a pre-warmed signature
+// table, an affinity scorer, P units and a P-task batch.
+type Fixture struct {
+	P      int
+	Degree int
+
+	Graph   *graph.Graph
+	Sigs    *signature.Table
+	Clock   *signature.ManualClock
+	Scorer  *affinity.Scorer
+	Auction *sched.Auction
+
+	Units      []affinity.UnitView
+	UnitStates []sched.UnitState
+	Anchors    [][]graph.VertexID
+	Tasks      []*sched.Task
+}
+
+// NewFixture builds the workload for P units over a graph with the
+// given average degree. parallelism is the scorer's row-construction
+// knob (0 = sequential).
+func NewFixture(p, degree, parallelism int) (*Fixture, error) {
+	g, err := graphgen.Random(graphgen.RandomConfig{
+		NumVertices: NumVertices,
+		NumEdges:    NumVertices * degree / 2,
+		Kind:        graph.Undirected,
+		Seed:        Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("schedbench: %w", err)
+	}
+	rng := xrand.New(Seed ^ uint64(p)<<8 ^ uint64(degree))
+
+	// Pre-warm the signature table the way a running cluster would:
+	// each unit has traversed a contiguous region (strong locality),
+	// regions overlap their neighbors by half, and a sprinkle of
+	// random visits gives lists multiple entries per vertex.
+	sigs := signature.NewTable(0)
+	clock := &signature.ManualClock{}
+	var now int64
+	region := NumVertices / p
+	for proc := 0; proc < p; proc++ {
+		lo := proc * region
+		hi := lo + region + region/2
+		for v := lo; v < hi; v++ {
+			now++
+			sigs.Record(graph.VertexID(v%NumVertices), int32(proc), now)
+		}
+	}
+	for i := 0; i < NumVertices; i++ {
+		now++
+		sigs.Record(graph.VertexID(rng.Intn(NumVertices)), int32(rng.Intn(p)), now)
+	}
+	clock.Set(now + 1)
+
+	cfg := affinity.DefaultConfig()
+	cfg.Parallelism = parallelism
+	scorer, err := affinity.NewScorer(g, sigs, clock, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("schedbench: %w", err)
+	}
+	auc, err := sched.NewAuction(scorer, sched.AuctionConfig{
+		NumUnits:      p,
+		Epsilon:       1e-3,
+		WorkloadAware: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("schedbench: %w", err)
+	}
+
+	units := make([]affinity.UnitView, p)
+	states := make([]sched.UnitState, p)
+	for i := 0; i < p; i++ {
+		u := &unit{
+			queue:     i % 5,
+			completed: 2,
+			memory:    int64(32) << 20,
+		}
+		if i%7 == 0 {
+			u.memory = 0 // a few unlimited-buffer units
+		}
+		units[i] = u
+		states[i] = u
+	}
+
+	// One segment's worth of tasks: P queries with locality-clustered
+	// starts; every fourth is a bidirectional SSSP, contributing a
+	// second affinity anchor like the live batch path does.
+	tasks := make([]*sched.Task, p)
+	anchors := make([][]graph.VertexID, p)
+	for i := 0; i < p; i++ {
+		start := graph.VertexID(rng.Intn(NumVertices))
+		q := traverse.Query{Op: traverse.OpBFS, Start: start, Depth: 2}
+		anchors[i] = []graph.VertexID{start}
+		if i%4 == 3 {
+			target := graph.VertexID(rng.Intn(NumVertices))
+			if target != start {
+				q = traverse.Query{Op: traverse.OpSSSP, Start: start, Target: target, Depth: 4}
+				anchors[i] = []graph.VertexID{start, target}
+			}
+		}
+		tasks[i] = &sched.Task{ID: int64(i), Query: q}
+	}
+
+	return &Fixture{
+		P:          p,
+		Degree:     degree,
+		Graph:      g,
+		Sigs:       sigs,
+		Clock:      clock,
+		Scorer:     scorer,
+		Auction:    auc,
+		Units:      units,
+		UnitStates: states,
+		Anchors:    anchors,
+		Tasks:      tasks,
+	}, nil
+}
+
+// UnitCounts and Degrees are the benchmark matrix axes required by
+// the tracked baseline: P ∈ {4, 16, 64} × degree ∈ {8, 64}.
+var (
+	UnitCounts = []int{4, 16, 64}
+	Degrees    = []int{8, 64}
+)
