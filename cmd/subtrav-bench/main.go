@@ -7,9 +7,12 @@
 //	subtrav-bench [flags] <experiment>
 //
 // where <experiment> is one of: fig8, fig9, fig10, fig11, fig12,
-// ablation, epsilon, warmstart, all — or "sched", which runs the
-// scheduler hot-path microbenchmarks (internal/schedbench) and writes
-// the tracked BENCH_sched.json baseline instead of a table.
+// ablation, epsilon, warmstart, all — or a microbenchmark suite:
+// "sched" runs the scheduler hot-path microbenchmarks
+// (internal/schedbench) and writes the tracked BENCH_sched.json
+// baseline, "traverse" runs the traversal-kernel microbenchmarks
+// (internal/travbench) and writes the tracked BENCH_traverse.json
+// baseline.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"subtrav"
 	"subtrav/internal/experiments"
 	"subtrav/internal/schedbench"
+	"subtrav/internal/travbench"
 )
 
 func main() {
@@ -32,11 +36,12 @@ func main() {
 		scale  = flag.String("scale", "small", "graph scale: tiny, small, medium, large, paper")
 		units  = flag.String("units", "", "comma-separated unit sweep override, e.g. 1,2,4,8")
 		n      = flag.Int("queries", 0, "queries per run override")
-		out    = flag.String("out", "BENCH_sched.json", "output path for the sched benchmark report")
+		out    = flag.String("out", "", "benchmark report path (default BENCH_sched.json / BENCH_traverse.json per suite)")
 		par    = flag.Int("parallelism", 0, "sched benchmark: scorer row-construction goroutines (0 = sequential)")
+		check  = flag.Bool("check", false, "traverse benchmark: fail unless the mid-size BFS cell clears the acceptance floors (full runs only)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|traverse|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -123,7 +128,9 @@ func main() {
 		case "eta":
 			renderOne(experiments.EtaThreshold(cfg))
 		case "sched":
-			runSched(*quick, *par, *out)
+			runSched(*quick, *par, defaultPath(*out, "BENCH_sched.json"))
+		case "traverse":
+			runTraverse(*quick, *check, defaultPath(*out, "BENCH_traverse.json"))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -164,6 +171,45 @@ func runSched(smoke bool, parallelism int, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d results, smoke=%v)\n", path, len(rep.Results), rep.Smoke)
+}
+
+// runTraverse executes the traversal-kernel suite (workspace kernels
+// vs map-based reference) and writes the BENCH_traverse.json report.
+// -quick maps to smoke mode; -check enforces the mid-size BFS
+// acceptance floors (≥3x ns/op, ≥10x allocs/op) on full runs.
+func runTraverse(smoke, check bool, path string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := travbench.Run(smoke, logf)
+	if err != nil {
+		fatal(err)
+	}
+	if check && !smoke {
+		if err := rep.CheckThresholds(3, 10); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results, smoke=%v)\n", path, len(rep.Results), rep.Smoke)
+}
+
+// defaultPath resolves the -out flag per suite.
+func defaultPath(out, fallback string) string {
+	if out != "" {
+		return out
+	}
+	return fallback
 }
 
 func parseScale(s string) (subtrav.Scale, bool) {

@@ -10,3 +10,9 @@ import (
 func TestSimdet(t *testing.T) {
 	analysistest.Run(t, simdet.Analyzer, "simdettest")
 }
+
+// TestSimdetKernelShapes covers the traversal-kernel shapes added
+// when internal/traverse entered simdet's scope.
+func TestSimdetKernelShapes(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "kerneltest")
+}

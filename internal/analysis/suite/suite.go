@@ -29,12 +29,15 @@ func Scopes() map[string]analysis.Scope {
 	return map[string]analysis.Scope{
 		// Bit-for-bit determinism is a property of the simulator and
 		// everything that feeds it: graph generation, workload
-		// synthesis, and the auction solver whose tie-breaks the
-		// paper's figures compare. The live runtime measures real
-		// time by design and is exempt.
+		// synthesis, the traversal kernels whose access traces the
+		// simulator replays (a map-range there once leaked randomized
+		// order into trace emission), and the auction solver whose
+		// tie-breaks the paper's figures compare. The live runtime
+		// measures real time by design and is exempt.
 		simdet.Analyzer.Name: {Paths: []string{
 			"subtrav/internal/sim",
 			"subtrav/internal/graphgen",
+			"subtrav/internal/traverse",
 			"subtrav/internal/auction",
 			"subtrav/internal/workload",
 		}},

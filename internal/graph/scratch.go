@@ -1,0 +1,142 @@
+package graph
+
+// Epoch-stamped dense vertex scratch. Traversal kernels and other
+// per-query hot paths need set and map semantics over VertexIDs, but a
+// fresh Go map per query churns the allocator and the GC exactly where
+// the system spends its time. Because vertex IDs are dense in
+// [0, NumVertices), a []uint32 stamp array gives O(1) membership with
+// a logical clear that is a single integer increment: an entry is
+// present iff its stamp equals the current epoch, so bumping the epoch
+// empties the structure without touching memory. The arrays are
+// reused across queries; a steady-state traversal allocates nothing.
+//
+// Neither type is safe for concurrent use; give each goroutine (or
+// each serialized execution context) its own.
+
+// VertexSet is a reusable dense set of vertices with O(1) Clear.
+// The zero value is an empty set over zero vertices; use NewVertexSet
+// or Grow to size it.
+type VertexSet struct {
+	stamps []uint32
+	epoch  uint32
+}
+
+// NewVertexSet returns an empty set over vertices [0, n).
+func NewVertexSet(n int) VertexSet {
+	return VertexSet{stamps: make([]uint32, n), epoch: 1}
+}
+
+// Cap returns the number of vertex slots the set covers.
+func (s *VertexSet) Cap() int { return len(s.stamps) }
+
+// Grow extends the set to cover vertices [0, n). Existing membership
+// is preserved; growth past the current capacity allocates.
+func (s *VertexSet) Grow(n int) {
+	if s.epoch == 0 {
+		s.epoch = 1
+	}
+	if n <= len(s.stamps) {
+		return
+	}
+	grown := make([]uint32, n)
+	copy(grown, s.stamps)
+	s.stamps = grown
+}
+
+// Clear empties the set in O(1) by bumping the epoch. On the (every
+// ~4 billion clears) epoch wraparound the stamp array is zeroed so
+// stale stamps from the previous cycle cannot alias the new epoch.
+func (s *VertexSet) Clear() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamps {
+			s.stamps[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Contains reports whether v is in the set.
+func (s *VertexSet) Contains(v VertexID) bool { return s.stamps[v] == s.epoch }
+
+// Add inserts v and reports whether it was newly added.
+func (s *VertexSet) Add(v VertexID) bool {
+	if s.stamps[v] == s.epoch {
+		return false
+	}
+	s.stamps[v] = s.epoch
+	return true
+}
+
+// VertexMap is a reusable dense VertexID → int32 map with O(1) Clear,
+// built on the same epoch-stamp scheme as VertexSet. The zero value is
+// an empty map over zero vertices; use NewVertexMap or Grow.
+type VertexMap struct {
+	stamps []uint32
+	vals   []int32
+	epoch  uint32
+}
+
+// NewVertexMap returns an empty map over vertices [0, n).
+func NewVertexMap(n int) VertexMap {
+	return VertexMap{stamps: make([]uint32, n), vals: make([]int32, n), epoch: 1}
+}
+
+// Cap returns the number of vertex slots the map covers.
+func (m *VertexMap) Cap() int { return len(m.stamps) }
+
+// Grow extends the map to cover vertices [0, n), preserving entries.
+func (m *VertexMap) Grow(n int) {
+	if m.epoch == 0 {
+		m.epoch = 1
+	}
+	if n <= len(m.stamps) {
+		return
+	}
+	stamps := make([]uint32, n)
+	copy(stamps, m.stamps)
+	vals := make([]int32, n)
+	copy(vals, m.vals)
+	m.stamps, m.vals = stamps, vals
+}
+
+// Clear empties the map in O(1); see VertexSet.Clear for the
+// wraparound guarantee.
+func (m *VertexMap) Clear() {
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.stamps {
+			m.stamps[i] = 0
+		}
+		m.epoch = 1
+	}
+}
+
+// Contains reports whether v has an entry.
+func (m *VertexMap) Contains(v VertexID) bool { return m.stamps[v] == m.epoch }
+
+// Get returns v's value and whether it is present.
+func (m *VertexMap) Get(v VertexID) (int32, bool) {
+	if m.stamps[v] != m.epoch {
+		return 0, false
+	}
+	return m.vals[v], true
+}
+
+// Put sets v's value, inserting it if absent.
+func (m *VertexMap) Put(v VertexID, x int32) {
+	m.stamps[v] = m.epoch
+	m.vals[v] = x
+}
+
+// Inc adds delta to v's value (absent counts as zero) and returns the
+// new value.
+func (m *VertexMap) Inc(v VertexID, delta int32) int32 {
+	if m.stamps[v] != m.epoch {
+		m.stamps[v] = m.epoch
+		m.vals[v] = delta
+		return delta
+	}
+	m.vals[v] += delta
+	return m.vals[v]
+}

@@ -1,0 +1,147 @@
+package graph
+
+import "testing"
+
+func TestVertexSetBasics(t *testing.T) {
+	s := NewVertexSet(8)
+	if s.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", s.Cap())
+	}
+	if s.Contains(3) {
+		t.Error("fresh set should be empty")
+	}
+	if !s.Add(3) {
+		t.Error("first Add should report newly added")
+	}
+	if s.Add(3) {
+		t.Error("second Add should report already present")
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Error("membership wrong after Add")
+	}
+	s.Clear()
+	if s.Contains(3) {
+		t.Error("Clear should empty the set")
+	}
+	if !s.Add(3) {
+		t.Error("Add after Clear should report newly added")
+	}
+}
+
+func TestVertexSetGrowPreservesMembership(t *testing.T) {
+	s := NewVertexSet(4)
+	s.Add(2)
+	s.Grow(16)
+	if !s.Contains(2) {
+		t.Error("Grow lost membership")
+	}
+	if s.Contains(10) {
+		t.Error("grown slots should start empty")
+	}
+	s.Add(10)
+	if !s.Contains(10) {
+		t.Error("Add in grown region failed")
+	}
+	// Growing smaller is a no-op.
+	s.Grow(2)
+	if s.Cap() != 16 {
+		t.Errorf("Cap shrank to %d", s.Cap())
+	}
+}
+
+func TestVertexSetZeroValueGrow(t *testing.T) {
+	var s VertexSet
+	s.Grow(4)
+	if s.Contains(1) {
+		t.Error("zero-value grown set should be empty")
+	}
+	s.Add(1)
+	s.Clear()
+	if s.Contains(1) {
+		t.Error("Clear on zero-value-grown set failed")
+	}
+}
+
+func TestVertexSetEpochWraparound(t *testing.T) {
+	s := NewVertexSet(4)
+	s.Add(1)
+	// Force the wraparound path: epoch jumps to max, next Clear wraps.
+	s.epoch = ^uint32(0)
+	s.stamps[2] = ^uint32(0) // stale entry stamped at the old max epoch
+	s.Clear()
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wraparound = %d, want 1", s.epoch)
+	}
+	if s.Contains(1) || s.Contains(2) {
+		t.Error("wraparound Clear must not resurrect stale entries")
+	}
+}
+
+func TestVertexMapBasics(t *testing.T) {
+	m := NewVertexMap(8)
+	if _, ok := m.Get(5); ok {
+		t.Error("fresh map should be empty")
+	}
+	m.Put(5, 42)
+	if v, ok := m.Get(5); !ok || v != 42 {
+		t.Errorf("Get(5) = %d,%t want 42,true", v, ok)
+	}
+	if !m.Contains(5) || m.Contains(6) {
+		t.Error("membership wrong")
+	}
+	if got := m.Inc(5, 2); got != 44 {
+		t.Errorf("Inc existing = %d, want 44", got)
+	}
+	if got := m.Inc(6, 3); got != 3 {
+		t.Errorf("Inc absent = %d, want 3", got)
+	}
+	m.Clear()
+	if m.Contains(5) || m.Contains(6) {
+		t.Error("Clear should empty the map")
+	}
+	if got := m.Inc(5, 1); got != 1 {
+		t.Errorf("Inc after Clear = %d, want 1 (stale value leaked)", got)
+	}
+}
+
+func TestVertexMapGrowPreservesEntries(t *testing.T) {
+	m := NewVertexMap(4)
+	m.Put(3, 7)
+	m.Grow(12)
+	if v, ok := m.Get(3); !ok || v != 7 {
+		t.Errorf("Grow lost entry: %d,%t", v, ok)
+	}
+	if m.Contains(8) {
+		t.Error("grown slots should start empty")
+	}
+	m.Put(8, 9)
+	if v, _ := m.Get(8); v != 9 {
+		t.Error("Put in grown region failed")
+	}
+}
+
+func TestVertexMapEpochWraparound(t *testing.T) {
+	m := NewVertexMap(4)
+	m.Put(1, 10)
+	m.epoch = ^uint32(0)
+	m.stamps[2] = ^uint32(0)
+	m.Clear()
+	if m.epoch != 1 {
+		t.Fatalf("epoch after wraparound = %d, want 1", m.epoch)
+	}
+	if m.Contains(1) || m.Contains(2) {
+		t.Error("wraparound Clear must not resurrect stale entries")
+	}
+}
+
+func TestScratchClearIsConstantTime(t *testing.T) {
+	// Not a timing assertion — a structural one: Clear must not touch
+	// the stamp array in the common case (only on wraparound).
+	s := NewVertexSet(1 << 16)
+	s.Add(12345)
+	before := s.stamps[12345]
+	s.Clear()
+	if s.stamps[12345] != before {
+		t.Error("Clear rewrote stamps on the non-wraparound path")
+	}
+}

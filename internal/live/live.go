@@ -214,6 +214,10 @@ type Runtime struct {
 
 	units    []*liveUnit
 	diskSlot chan struct{}
+	// wsPool lends traversal workspaces to workers, one per executing
+	// query, so steady-state traversals reuse dense scratch instead of
+	// allocating per-query maps.
+	wsPool *traverse.Pool
 
 	mu       sync.Mutex
 	sched    sched.Scheduler
@@ -321,6 +325,7 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 		sched:    scheduler,
 		fallback: sched.NewLeastLoaded(),
 		diskSlot: make(chan struct{}, maxInt(cfg.Cost.Disk.Channels, 1)),
+		wsPool:   traverse.NewPool(g.NumVertices()),
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 	}
@@ -823,7 +828,12 @@ func (r *Runtime) worker(u *liveUnit) {
 // every scaled sleep, so an expired deadline frees the unit within one
 // access-service time.
 func (r *Runtime) execute(u *liveUnit, t *task) Response {
-	result, trace, err := traverse.Execute(r.g, t.query)
+	// The workspace is returned to the pool when this execution's trace
+	// has been fully charged; the Result is cloned before it escapes
+	// into the Response, which outlives the checkout.
+	ws := r.wsPool.Get()
+	defer r.wsPool.Put(ws)
+	result, trace, err := traverse.ExecuteIn(ws, r.g, t.query)
 	if err != nil {
 		return Response{Unit: u.id, Err: err, Wait: t.started.Sub(t.submit)}
 	}
@@ -897,7 +907,7 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 		r.sigs.Record(v, u.id, now.UnixNano())
 	}
 	return Response{
-		Result: result,
+		Result: result.Clone(),
 		Unit:   u.id,
 		Wait:   t.started.Sub(t.submit),
 		Exec:   now.Sub(t.started),

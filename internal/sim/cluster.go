@@ -61,12 +61,22 @@ func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
 		disk:         storage.NewDisk(cfg.Cost.Disk),
 		firstArrival: -1,
 	}
+	// All units borrow one dense traversal scratch: the event loop
+	// executes kernels one at a time, and sharing keeps cluster memory
+	// at O(|V|) instead of O(P·|V|) (the paper-scale graph is 11.3M
+	// vertices). Traces and results live in per-unit buffers.
+	scratch := traverse.NewScratch(g.NumVertices())
 	for i := 0; i < cfg.NumUnits; i++ {
 		speed := 1.0
 		if cfg.SpeedFactors != nil {
 			speed = cfg.SpeedFactors[i]
 		}
-		c.units = append(c.units, &unit{id: int32(i), buffer: cache.New(cfg.MemoryPerUnit), speed: speed})
+		c.units = append(c.units, &unit{
+			id:     int32(i),
+			buffer: cache.New(cfg.MemoryPerUnit),
+			ws:     traverse.NewWorkspaceWithScratch(scratch),
+			speed:  speed,
+		})
 	}
 	return c, nil
 }
@@ -216,11 +226,18 @@ func (c *Cluster) startNext(u *unit, now int64) {
 
 	// The set of records a traversal touches is timing-independent
 	// (see package traverse), so the trace is computed here and then
-	// replayed against the buffer and shared disk for its cost.
-	result, trace, err := traverse.Execute(c.g, ts.task.Query)
+	// replayed against the buffer and shared disk for its cost. The
+	// unit's workspace is recycled per task: by the time this runs, the
+	// unit's previous trace and result were fully consumed by complete.
+	result, trace, err := traverse.ExecuteIn(u.ws, c.g, ts.task.Query)
 	if err != nil {
 		// Queries are validated at Run entry; an error here is a bug.
 		panic(fmt.Sprintf("sim: traversal failed mid-run: %v", err))
+	}
+	if c.OnComplete != nil {
+		// The callback may retain the result past this unit's next
+		// task, which recycles the workspace-owned slices; detach them.
+		result = result.Clone()
 	}
 	ts.result = result
 	ts.trace = trace

@@ -26,6 +26,12 @@ type unit struct {
 	buffer *cache.Cache
 	queue  []*taskState
 	cur    *taskState
+	// ws is the unit's reusable traversal workspace. Its private
+	// buffers hold the in-flight task's trace across replay events, so
+	// they are only recycled by the unit's own next startNext — after
+	// complete has consumed them. The O(|V|) dense scratch inside is
+	// shared cluster-wide: the event loop runs one traversal at a time.
+	ws *traverse.Workspace
 	// speed multiplies the unit's compute and hit costs (1 = nominal).
 	speed float64
 

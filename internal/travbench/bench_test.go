@@ -1,0 +1,71 @@
+package travbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkKernels measures every (op, size, degree) cell in both
+// implementations — workspace kernels and map-based reference — via
+// the exact closures the JSON emitter drives. Run with -benchtime=1x
+// for a smoke check (CI does).
+func BenchmarkKernels(b *testing.B) {
+	for _, v := range Sizes {
+		for _, deg := range Degrees {
+			fx, err := NewFixture(v, deg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, op := range fx.Ops() {
+				op := op
+				b.Run(fmt.Sprintf("%s/ws/V=%d/deg=%d", op.Name, v, deg), func(b *testing.B) {
+					b.ReportAllocs()
+					op.WS() // warm the workspace to steady-state capacity
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						op.WS()
+					}
+				})
+				b.Run(fmt.Sprintf("%s/ref/V=%d/deg=%d", op.Name, v, deg), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						op.Ref()
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunSmoke proves the emitter end to end: a smoke run over the
+// full matrix must produce a well-formed report with every cell and a
+// speedup entry per (op, size, degree).
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(true, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Smoke {
+		t.Error("smoke flag not set")
+	}
+	wantCells := len(Sizes) * len(Degrees) * 4 // ops
+	if len(rep.Speedup) != wantCells {
+		t.Errorf("speedup entries: %d, want %d", len(rep.Speedup), wantCells)
+	}
+	if len(rep.Results) != 2*wantCells {
+		t.Errorf("results: %d, want %d", len(rep.Results), 2*wantCells)
+	}
+	for _, res := range rep.Results {
+		if res.Iters != 1 {
+			t.Errorf("%s: smoke iters = %d, want 1", res.Name, res.Iters)
+		}
+		if res.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %g, want > 0", res.Name, res.NsPerOp)
+		}
+	}
+	// Threshold checking must at least find the mid-size BFS cells
+	// (the floors themselves are only meaningful on full runs).
+	if err := rep.CheckThresholds(0, 0); err != nil {
+		t.Errorf("threshold scan: %v", err)
+	}
+}

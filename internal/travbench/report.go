@@ -1,0 +1,218 @@
+package travbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Result is one measured benchmark cell.
+type Result struct {
+	// Name follows the go-bench convention, e.g. "BFS/ws/V=32768/deg=8".
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Speedup compares the Workspace kernel against the map-based
+// reference for one (op, size, degree) cell, both measured in the same
+// process.
+type Speedup struct {
+	// NsRatio is reference ns/op divided by workspace ns/op (>1 means
+	// the workspace kernel is faster).
+	NsRatio float64 `json:"ns_ratio"`
+	// AllocRatio is reference allocs/op divided by workspace
+	// allocs/op. The workspace path routinely measures zero allocs/op,
+	// so the denominator is floored at 1 alloc/op to keep the ratio
+	// finite — the reported value is therefore a lower bound.
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Report is the BENCH_traverse.json payload: environment metadata, the
+// per-cell results, and the workspace-vs-reference speedup matrix. It
+// deliberately carries no timestamps or hostnames, so regenerating it
+// on the same machine produces a meaningful diff.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Smoke marks a -benchtime=1x-style run whose numbers only prove
+	// the suite executes; comparisons need a full run.
+	Smoke bool `json:"smoke"`
+
+	Results []Result           `json:"results"`
+	Speedup map[string]Speedup `json:"speedup"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measurement is the raw outcome of timing iters calls of a closure.
+type measurement struct {
+	iters  int
+	ns     float64
+	allocs float64
+	bytes  float64
+}
+
+// measure times iters executions of fn with alloc accounting. The
+// emitter hand-rolls this instead of driving testing.Benchmark so the
+// smoke/full iteration policy is explicit and independent of testing
+// flags (the go-test bench suite in bench_test.go covers that side).
+func measure(iters int, fn func()) measurement {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return measurement{
+		iters:  iters,
+		ns:     float64(elapsed.Nanoseconds()) / n,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / n,
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+}
+
+// calibrate picks an iteration count targeting ~200ms of measured
+// work (1 in smoke mode), after a warmup that also grows the
+// workspace's reusable buffers to steady-state capacity.
+func calibrate(smoke bool, fn func()) int {
+	if smoke {
+		fn() // still warm up so the measured single op is honest
+		return 1
+	}
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 20*time.Millisecond || iters >= 1<<16 {
+			perOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			target := int(200e6 / perOp)
+			if target < 10 {
+				target = 10
+			}
+			if target > 100000 {
+				target = 100000
+			}
+			return target
+		}
+		iters *= 2
+	}
+}
+
+// Run executes the kernel suite across the size × degree × op matrix
+// and assembles the report. smoke runs every cell once (CI); a full
+// run calibrates iteration counts for stable numbers.
+func Run(smoke bool, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     smoke,
+		Speedup:   make(map[string]Speedup),
+	}
+
+	for _, v := range Sizes {
+		for _, deg := range Degrees {
+			fx, err := NewFixture(v, deg)
+			if err != nil {
+				return nil, err
+			}
+			for _, op := range fx.Ops() {
+				cell := Cell(op.Name, v, deg)
+				ws := runCell(rep, op.Name+"/ws/"+trimOp(cell, op.Name), smoke, op.WS)
+				ref := runCell(rep, op.Name+"/ref/"+trimOp(cell, op.Name), smoke, op.Ref)
+				rep.Speedup[cell] = Speedup{
+					NsRatio:    ratio(ref.NsPerOp, ws.NsPerOp),
+					AllocRatio: ratio(ref.AllocsPerOp, floorOne(ws.AllocsPerOp)),
+				}
+				logf("%-24s ws %.0f ns/op %.1f allocs/op | ref %.0f ns/op %.1f allocs/op (%.1fx ns, %.0fx allocs)",
+					cell, ws.NsPerOp, ws.AllocsPerOp, ref.NsPerOp, ref.AllocsPerOp,
+					rep.Speedup[cell].NsRatio, rep.Speedup[cell].AllocRatio)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// trimOp strips the leading "op/" from a Cell name so the result name
+// composes as "op/impl/V=…/deg=…".
+func trimOp(cell, op string) string { return cell[len(op)+1:] }
+
+// runCell measures one cell and appends it to the report.
+func runCell(rep *Report, name string, smoke bool, fn func()) Result {
+	iters := calibrate(smoke, fn)
+	m := measure(iters, fn)
+	res := Result{
+		Name:        name,
+		Iters:       m.iters,
+		NsPerOp:     m.ns,
+		AllocsPerOp: m.allocs,
+		BytesPerOp:  m.bytes,
+	}
+	rep.Results = append(rep.Results, res)
+	return res
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// floorOne floors a measured allocs/op at 1, the denominator policy
+// documented on Speedup.AllocRatio.
+func floorOne(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// CheckThresholds validates the acceptance floors on a full (non-
+// smoke) report: the mid-size BFS cells must show at least minNs ns/op
+// and minAllocs allocs/op improvement. Used by the emitter's -check
+// mode so regressions fail loudly rather than silently landing in the
+// tracked artifact.
+func (r *Report) CheckThresholds(minNs, minAllocs float64) error {
+	checked := 0
+	for cell, sp := range r.Speedup {
+		var v, deg int
+		if n, _ := fmt.Sscanf(cell, "BFS/V=%d/deg=%d", &v, &deg); n != 2 || v != MidSize {
+			continue
+		}
+		checked++
+		if sp.NsRatio < minNs {
+			return fmt.Errorf("travbench: %s ns speedup %.2fx below the %.1fx floor", cell, sp.NsRatio, minNs)
+		}
+		if sp.AllocRatio < minAllocs {
+			return fmt.Errorf("travbench: %s alloc improvement %.0fx below the %.0fx floor", cell, sp.AllocRatio, minAllocs)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("travbench: no mid-size BFS cells in report")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package travbench builds the reproducible traversal-kernel
+// benchmark workloads shared by the `go test -bench` suite
+// (bench_test.go) and the `subtrav-bench traverse` command, which runs
+// the same workloads and emits the tracked BENCH_traverse.json
+// artifact (see report.go). The fixtures pin every source of
+// randomness to a seed, so two runs on the same machine measure the
+// same work.
+//
+// The suite covers all four traversal engines — bounded BFS,
+// bidirectional bounded SSSP, collaborative filtering, random walk
+// with restart — in both implementations: the Workspace kernels
+// (dense epoch-stamped scratch, ring frontier, pooled outputs) and the
+// map-based reference kernels kept as the executable spec, so every
+// report carries its own before/after baseline.
+package travbench
+
+import (
+	"fmt"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/traverse"
+)
+
+// Sizes is the tracked vertex-count axis. MidSize is the cell the
+// acceptance thresholds are checked against.
+var Sizes = []int{4096, 32768}
+
+// MidSize is the mid-size fixture (see Sizes).
+const MidSize = 32768
+
+// Degrees is the tracked average-degree axis.
+var Degrees = []int{8, 32}
+
+// Seed pins fixture generation.
+const Seed = 0x7A4E57B1
+
+// Fixture is one reproducible kernel workload: a seeded power-law
+// social graph (BFS, SSSP, RWR) plus a purchase bipartite graph of the
+// same scale (CollabFilter), a reusable Workspace, and the query of
+// each op. Hubs are used as query origins so the kernels traverse
+// dense neighborhoods rather than degenerate leaves.
+type Fixture struct {
+	V      int
+	Degree int
+
+	Social    *graph.Graph
+	Purchases *graphgen.PurchaseGraph
+
+	WS      *traverse.Workspace
+	WSBip   *traverse.Workspace
+	BFSQ    traverse.Query
+	SSSPQ   traverse.Query
+	CollabQ traverse.Query
+	RandomQ traverse.Query
+}
+
+// NewFixture builds the workload for v vertices at the given average
+// degree.
+func NewFixture(v, degree int) (*Fixture, error) {
+	social, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: v,
+		NumEdges:    v * degree / 2,
+		Exponent:    2.3,
+		Kind:        graph.Undirected,
+		Seed:        Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("travbench: social fixture: %w", err)
+	}
+	bip, err := graphgen.Purchases(graphgen.PurchaseConfig{
+		NumCustomers:             v / 2,
+		NumProducts:              v / 2,
+		PurchasesPerCustomerMean: float64(degree),
+		PopularityExponent:       2.3,
+		Seed:                     Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("travbench: purchase fixture: %w", err)
+	}
+
+	hub := graph.VertexID(0)
+	for u := 0; u < social.NumVertices(); u++ {
+		if social.Degree(graph.VertexID(u)) > social.Degree(hub) {
+			hub = graph.VertexID(u)
+		}
+	}
+	// A far-ish SSSP target: the vertex numerically farthest from the
+	// hub keeps both frontiers expanding for several hops.
+	target := graph.VertexID(social.NumVertices() - 1)
+	if target == hub {
+		target = 0
+	}
+	// The busiest product drives the widest two-hop collab traversal.
+	prod := bip.ProductVertex(0)
+	for i := 0; i < bip.NumProducts; i++ {
+		if p := bip.ProductVertex(i); bip.Graph.Degree(p) > bip.Graph.Degree(prod) {
+			prod = p
+		}
+	}
+
+	return &Fixture{
+		V:         v,
+		Degree:    degree,
+		Social:    social,
+		Purchases: bip,
+		WS:        traverse.NewWorkspace(social.NumVertices()),
+		WSBip:     traverse.NewWorkspace(bip.Graph.NumVertices()),
+		BFSQ:      traverse.Query{Op: traverse.OpBFS, Start: hub, Depth: 4},
+		SSSPQ:     traverse.Query{Op: traverse.OpSSSP, Start: hub, Target: target, Depth: 6},
+		CollabQ:   traverse.Query{Op: traverse.OpCollab, Start: prod, SimilarityThreshold: 0.1},
+		RandomQ:   traverse.Query{Op: traverse.OpRWR, Start: hub, Steps: 2000, RestartProb: 0.15, TopK: 20, Seed: Seed + 2},
+	}, nil
+}
+
+// Cell names one (op, size, degree) coordinate, go-bench style.
+func Cell(op string, v, degree int) string {
+	return fmt.Sprintf("%s/V=%d/deg=%d", op, v, degree)
+}
+
+// Ops enumerates the fixture's kernels as (name, workspace-run,
+// reference-run) triples so the emitter and the go-bench suite drive
+// the exact same calls.
+func (fx *Fixture) Ops() []Op {
+	return []Op{
+		{"BFS",
+			func() { fx.WS.BFS(fx.Social, fx.BFSQ) },
+			func() { traverse.BFSReference(fx.Social, fx.BFSQ) }},
+		{"SSSP",
+			func() { fx.WS.BoundedSSSP(fx.Social, fx.SSSPQ) },
+			func() { traverse.BoundedSSSPReference(fx.Social, fx.SSSPQ) }},
+		{"Collab",
+			func() { fx.WSBip.CollabFilter(fx.Purchases.Graph, fx.CollabQ) },
+			func() { traverse.CollabFilterReference(fx.Purchases.Graph, fx.CollabQ) }},
+		{"RWR",
+			func() { fx.WS.RandomWalk(fx.Social, fx.RandomQ) },
+			func() { traverse.RandomWalkReference(fx.Social, fx.RandomQ) }},
+	}
+}
+
+// Op is one benchmarkable kernel pair.
+type Op struct {
+	Name string
+	WS   func()
+	Ref  func()
+}

@@ -1,0 +1,96 @@
+package traverse
+
+import (
+	"testing"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+)
+
+// Allocation-regression guards: a warmed Workspace must run each
+// kernel with (near) zero heap allocations. The budgets below are
+// deliberate constants, not measurements — raising one is an API
+// decision, not a flaky-test fix:
+//
+//   - maxAllocsBFS/SSSP/Collab = 0: every structure these kernels
+//     touch (dense scratch, ring, frontiers, side lists, trace,
+//     result scratch) is reused; nothing may escape per query.
+//   - maxAllocsRWR = 0: the RNG is a stack value (xrand.Reseed), the
+//     ranking is built in the pooled buffer.
+//
+// Budgets ≤ 3 are required by the PR acceptance criteria; we hold the
+// kernels to the stricter zero.
+//
+// These tests must NOT run in parallel: testing.AllocsPerRun counts
+// process-wide mallocs, so a concurrent test's allocations would leak
+// into the measurement.
+const (
+	maxAllocsBFS    = 0
+	maxAllocsSSSP   = 0
+	maxAllocsCollab = 0
+	maxAllocsRWR    = 0
+)
+
+func allocFixture(t testing.TB) (*graph.Graph, *graphgen.PurchaseGraph) {
+	t.Helper()
+	pl, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: 2000, NumEdges: 10000, Exponent: 2.3,
+		Kind: graph.Undirected, Seed: 7, VertexMeta: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bip, err := graphgen.Purchases(graphgen.PurchaseConfig{
+		NumCustomers: 800, NumProducts: 300,
+		PurchasesPerCustomerMean: 8, PopularityExponent: 2.3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, bip
+}
+
+func checkAllocs(t *testing.T, name string, budget float64, run func()) {
+	t.Helper()
+	// Warm the workspace so one-time capacity growth is excluded; the
+	// AllocsPerRun warmup call alone would fold growth into run 1 of 1.
+	run()
+	run()
+	if got := testing.AllocsPerRun(10, run); got > budget {
+		t.Errorf("%s: %.1f allocs/op, budget %.0f", name, got, budget)
+	}
+}
+
+func TestKernelAllocBudgets(t *testing.T) {
+	pl, bip := allocFixture(t)
+	ws := NewWorkspace(pl.NumVertices())
+	wsBip := NewWorkspace(bip.Graph.NumVertices())
+	hub := hubAndLeaf(pl)[0]
+
+	checkAllocs(t, "BFS", maxAllocsBFS, func() {
+		ws.BFS(pl, Query{Op: OpBFS, Start: hub, Depth: 3})
+	})
+	checkAllocs(t, "BoundedSSSP", maxAllocsSSSP, func() {
+		ws.BoundedSSSP(pl, Query{Op: OpSSSP, Start: hub, Target: hub ^ 1, Depth: 5})
+	})
+	checkAllocs(t, "CollabFilter", maxAllocsCollab, func() {
+		wsBip.CollabFilter(bip.Graph, Query{Op: OpCollab, Start: bip.ProductVertex(0), SimilarityThreshold: 0.1})
+	})
+	checkAllocs(t, "RandomWalk", maxAllocsRWR, func() {
+		ws.RandomWalk(pl, Query{Op: OpRWR, Start: hub, Steps: 500, RestartProb: 0.15, TopK: 10, Seed: 3})
+	})
+}
+
+// ExecuteIn adds only dispatch and validation on top of the kernels;
+// it must stay on the same zero-alloc budget.
+func TestExecuteInAllocBudget(t *testing.T) {
+	pl, _ := allocFixture(t)
+	ws := NewWorkspace(pl.NumVertices())
+	hub := hubAndLeaf(pl)[0]
+	q := Query{Op: OpBFS, Start: hub, Depth: 3}
+	checkAllocs(t, "ExecuteIn/BFS", maxAllocsBFS, func() {
+		if _, _, err := ExecuteIn(ws, pl, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

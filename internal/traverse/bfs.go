@@ -7,23 +7,28 @@ import "subtrav/internal/graph"
 // a vertex failing VertexPred is touched (its record must be loaded to
 // evaluate θ) but not expanded; an edge failing EdgePred is scanned
 // (inline in the source record, CPU only) but not followed.
+//
+// This one-shot form allocates a private Workspace; executors on the
+// hot path reuse one through Workspace.BFS / ExecuteIn instead.
 func BFS(g *graph.Graph, q Query) (Result, *Trace) {
-	trace := &Trace{}
-	seen := make(map[graph.VertexID]bool)
-	type frontierItem struct {
-		v     graph.VertexID
-		depth int
-	}
-	queue := []frontierItem{{q.Start, 0}}
-	enqueued := map[graph.VertexID]bool{q.Start: true}
+	return NewWorkspace(g.NumVertices()).BFS(g, q)
+}
+
+// BFS is the zero-steady-state-allocation kernel: the enqueued set is
+// an epoch-stamped dense map, the frontier a reusable ring buffer, the
+// trace pooled. Pinned bit-for-bit against BFSReference.
+func (ws *Workspace) BFS(g *graph.Graph, q Query) (Result, *Trace) {
+	ws.begin(g)
+	enqueued := &ws.scratch.mapA // membership only
+	ws.ringPush(q.Start, 0)
+	enqueued.Put(q.Start, 0)
 	visited := 0
 
-	for len(queue) > 0 {
-		item := queue[0]
-		queue = queue[1:]
+	for ws.ringLen > 0 {
+		item := ws.ringPop()
 		v := item.v
 
-		acc := trace.touchVertex(g, v, seen)
+		acc := ws.touch(g, v)
 		if q.VertexPred != nil && !q.VertexPred(g.VertexProps(v)) {
 			continue
 		}
@@ -31,24 +36,24 @@ func BFS(g *graph.Graph, q Query) (Result, *Trace) {
 		if q.MaxVisits > 0 && visited >= q.MaxVisits {
 			break
 		}
-		if item.depth >= q.Depth {
+		if int(item.depth) >= q.Depth {
 			continue
 		}
 		lo, hi := g.EdgeSlots(v)
-		trace.chargeScan(acc, int(hi-lo))
+		ws.trace.chargeScan(acc, int(hi-lo))
 		for s := lo; s < hi; s++ {
 			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
 				continue
 			}
 			u := g.TargetAt(s)
-			if enqueued[u] {
+			if enqueued.Contains(u) {
 				continue
 			}
-			enqueued[u] = true
-			queue = append(queue, frontierItem{u, item.depth + 1})
+			enqueued.Put(u, 0)
+			ws.ringPush(u, item.depth+1)
 		}
 	}
-	return Result{Visited: visited}, trace
+	return Result{Visited: visited}, &ws.trace
 }
 
 // BoundedSSSP finds whether a path of length <= q.Depth connects
@@ -62,84 +67,109 @@ func BFS(g *graph.Graph, q Query) (Result, *Trace) {
 // way); a capped search is best-effort — Found may be false for
 // connected pairs, and PathLen may exceed the true shortest length.
 func BoundedSSSP(g *graph.Graph, q Query) (Result, *Trace) {
-	trace := &Trace{}
-	seen := make(map[graph.VertexID]bool)
+	return NewWorkspace(g.NumVertices()).BoundedSSSP(g, q)
+}
+
+// ssspState threads the shared search counters through ssspExpand.
+type ssspState struct {
+	visited int
+	capped  bool // MaxVisits reached: the search gives up expanding
+	best    int
+}
+
+// ssspExpand advances one frontier a hop, writing the next frontier
+// into next (reused storage) — the method form of the reference
+// kernel's expand closure, allocation-free at steady state.
+func (ws *Workspace) ssspExpand(g *graph.Graph, q *Query, st *ssspState,
+	frontier, next []graph.VertexID, mine, accIdx, other *graph.VertexMap, depth int) []graph.VertexID {
+	for _, v := range frontier {
+		if st.capped {
+			break
+		}
+		lo, hi := g.EdgeSlots(v)
+		vAcc, _ := accIdx.Get(v)
+		ws.trace.chargeScan(int(vAcc), int(hi-lo))
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			if mine.Contains(u) {
+				continue
+			}
+			mine.Put(u, int32(depth+1))
+			accIdx.Put(u, int32(ws.touch(g, u)))
+			st.visited++
+			if d, ok := other.Get(u); ok {
+				total := depth + 1 + int(d)
+				if st.best < 0 || total < st.best {
+					st.best = total
+				}
+				continue
+			}
+			if q.MaxVisits > 0 && st.visited >= q.MaxVisits {
+				st.capped = true
+				break
+			}
+			next = append(next, u)
+		}
+	}
+	return next
+}
+
+// BoundedSSSP is the dense-scratch kernel: per-side labels and access
+// indices live in epoch-stamped maps, frontiers in double-buffered
+// reusable slices. Pinned bit-for-bit against BoundedSSSPReference.
+func (ws *Workspace) BoundedSSSP(g *graph.Graph, q Query) (Result, *Trace) {
+	ws.begin(g)
 
 	if q.Start == q.Target {
-		trace.touchVertex(g, q.Start, seen)
-		return Result{Visited: 1, Found: true, PathLen: 0}, trace
+		ws.touch(g, q.Start)
+		return Result{Visited: 1, Found: true, PathLen: 0}, &ws.trace
 	}
 
-	distA := map[graph.VertexID]int{q.Start: 0}
-	distB := map[graph.VertexID]int{q.Target: 0}
-	frontierA := []graph.VertexID{q.Start}
-	frontierB := []graph.VertexID{q.Target}
-	accA := map[graph.VertexID]int{q.Start: trace.touchVertex(g, q.Start, seen)}
-	accB := map[graph.VertexID]int{q.Target: trace.touchVertex(g, q.Target, seen)}
-	visited := 2
-	capped := false // MaxVisits reached: the search gives up expanding
+	sc := ws.scratch
+	distA, distB := &sc.mapA, &sc.mapB
+	accA, accB := &sc.accA, &sc.accB
+	distA.Put(q.Start, 0)
+	distB.Put(q.Target, 0)
+	frontierA := append(ws.frontA[:0], q.Start)
+	frontierB := append(ws.frontB[:0], q.Target)
+	nextA, nextB := ws.nextA, ws.nextB
+	accA.Put(q.Start, int32(ws.touch(g, q.Start)))
+	accB.Put(q.Target, int32(ws.touch(g, q.Target)))
+	st := ssspState{visited: 2, best: -1}
 
 	limitA := (q.Depth + 1) / 2 // ceil(δ/2)
 	limitB := q.Depth / 2       // floor(δ/2); combined = δ
 	depthA, depthB := 0, 0
-	best := -1
 
-	expand := func(frontier []graph.VertexID, mine, other map[graph.VertexID]int, accIdx map[graph.VertexID]int, depth int) []graph.VertexID {
-		var next []graph.VertexID
-		for _, v := range frontier {
-			if capped {
-				break
-			}
-			lo, hi := g.EdgeSlots(v)
-			trace.chargeScan(accIdx[v], int(hi-lo))
-			for s := lo; s < hi; s++ {
-				if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
-					continue
-				}
-				u := g.TargetAt(s)
-				if _, ok := mine[u]; ok {
-					continue
-				}
-				mine[u] = depth + 1
-				accIdx[u] = trace.touchVertex(g, u, seen)
-				visited++
-				if d, ok := other[u]; ok {
-					total := depth + 1 + d
-					if best < 0 || total < best {
-						best = total
-					}
-					continue
-				}
-				if q.MaxVisits > 0 && visited >= q.MaxVisits {
-					capped = true
-					break
-				}
-				next = append(next, u)
-			}
-		}
-		return next
-	}
-
-	for !capped && ((depthA < limitA && len(frontierA) > 0) || (depthB < limitB && len(frontierB) > 0)) {
+	for !st.capped && ((depthA < limitA && len(frontierA) > 0) || (depthB < limitB && len(frontierB) > 0)) {
 		// Alternate sides, smaller frontier first, the usual
 		// bidirectional heuristic.
 		expandA := depthA < limitA && len(frontierA) > 0 &&
 			(depthB >= limitB || len(frontierB) == 0 || len(frontierA) <= len(frontierB))
 		if expandA {
-			frontierA = expand(frontierA, distA, distB, accA, depthA)
+			out := ws.ssspExpand(g, &q, &st, frontierA, nextA[:0], distA, accA, distB, depthA)
+			frontierA, nextA = out, frontierA
 			depthA++
 		} else {
-			frontierB = expand(frontierB, distB, distA, accB, depthB)
+			out := ws.ssspExpand(g, &q, &st, frontierB, nextB[:0], distB, accB, distA, depthB)
+			frontierB, nextB = out, frontierB
 			depthB++
 		}
-		if best >= 0 && best <= depthA+depthB {
+		if st.best >= 0 && st.best <= depthA+depthB {
 			// No shorter meeting can appear once both processed
 			// depths cover the best found length.
 			break
 		}
 	}
-	if best >= 0 && best <= q.Depth {
-		return Result{Visited: visited, Found: true, PathLen: best}, trace
+	// Stash the (possibly grown) buffers for the next execution.
+	ws.frontA, ws.nextA = frontierA[:0], nextA[:0]
+	ws.frontB, ws.nextB = frontierB[:0], nextB[:0]
+
+	if st.best >= 0 && st.best <= q.Depth {
+		return Result{Visited: st.visited, Found: true, PathLen: st.best}, &ws.trace
 	}
-	return Result{Visited: visited, Found: false}, trace
+	return Result{Visited: st.visited, Found: false}, &ws.trace
 }

@@ -16,50 +16,62 @@ import (
 // exceeds q.SimilarityThreshold. The traversal is a two-hop BFS over
 // the customer-product bipartite graph.
 func CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
-	trace := &Trace{}
-	seen := make(map[graph.VertexID]bool)
+	return NewWorkspace(g.NumVertices()).CollabFilter(g, q)
+}
+
+// CollabFilter is the dense-scratch kernel: buyers and co-purchased
+// products live in epoch-stamped maps plus insertion-ordered compact
+// side lists, so hop-2 iteration — and therefore the emitted trace,
+// the visit signatures, and the cache eviction order — happens in
+// deterministic first-touch order, never map-range order. Pinned
+// bit-for-bit against CollabFilterReference.
+func (ws *Workspace) CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
+	ws.begin(g)
 	v := q.Start
-	vAcc := trace.touchVertex(g, v, seen)
+	vAcc := ws.touch(g, v)
 	visited := 1
 
-	// Hop 1: buyers of v.
-	buyers := make(map[graph.VertexID]bool)
-	buyerAcc := make(map[graph.VertexID]int)
+	// Hop 1: buyers of v, in adjacency (= insertion) order. accA maps
+	// buyer → its trace access index; ws.orderA is the iteration list.
+	buyerAcc := &ws.scratch.accA
 	lo, hi := g.EdgeSlots(v)
-	trace.chargeScan(vAcc, int(hi-lo))
+	ws.trace.chargeScan(vAcc, int(hi-lo))
 	for s := lo; s < hi; s++ {
 		u := g.TargetAt(s)
-		if !buyers[u] {
-			buyers[u] = true
-			buyerAcc[u] = trace.touchVertex(g, u, seen)
+		if !buyerAcc.Contains(u) {
+			buyerAcc.Put(u, int32(ws.touch(g, u)))
+			ws.orderA = append(ws.orderA, u)
 			visited++
 		}
 	}
-	degV := len(buyers)
+	degV := len(ws.orderA)
 	if degV == 0 {
-		return Result{Visited: visited}, trace
+		return Result{Visited: visited}, &ws.trace
 	}
 
-	// Hop 2: co-purchased products, counting shared buyers.
-	shared := make(map[graph.VertexID]int)
-	for u := range buyers {
+	// Hop 2: co-purchased products, counting shared buyers; products
+	// are recorded in first-touch order in ws.orderB.
+	shared := &ws.scratch.mapB
+	for _, u := range ws.orderA {
 		ulo, uhi := g.EdgeSlots(u)
-		trace.chargeScan(buyerAcc[u], int(uhi-ulo))
+		uAcc, _ := buyerAcc.Get(u)
+		ws.trace.chargeScan(int(uAcc), int(uhi-ulo))
 		for s := ulo; s < uhi; s++ {
 			p := g.TargetAt(s)
 			if p == v {
 				continue
 			}
-			if shared[p] == 0 {
-				trace.touchVertex(g, p, seen)
+			if shared.Inc(p, 1) == 1 {
+				ws.touch(g, p)
+				ws.orderB = append(ws.orderB, p)
 				visited++
 			}
-			shared[p]++
 		}
 	}
 
-	var recs []Recommendation
-	for p, count := range shared {
+	recs := ws.recs[:0]
+	for _, p := range ws.orderB {
+		count, _ := shared.Get(p)
 		degP := g.Degree(p)
 		minDeg := degV
 		if degP < minDeg {
@@ -73,11 +85,11 @@ func CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
 			recs = append(recs, Recommendation{Product: p, Similarity: sim})
 		}
 	}
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Similarity != recs[j].Similarity {
-			return recs[i].Similarity > recs[j].Similarity
-		}
-		return recs[i].Product < recs[j].Product
-	})
-	return Result{Visited: visited, Recommendations: recs}, trace
+	ws.recs = recs
+	ws.recSorter.s = recs
+	sort.Sort(&ws.recSorter)
+	if len(recs) == 0 {
+		recs = nil // match the reference's nil-when-empty Result
+	}
+	return Result{Visited: visited, Recommendations: recs}, &ws.trace
 }

@@ -1,0 +1,100 @@
+package traverse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+)
+
+// Regression: CollabFilter's hop-2 used to iterate a Go map, whose
+// randomized range order made two runs of the same seeded query emit
+// trace accesses — and therefore visit signatures and cache evictions
+// — in different orders. Both kernel generations now iterate
+// insertion-ordered side lists; these tests pin run-to-run identity
+// byte for byte.
+
+func determinismFixture(t *testing.T) (*graphgen.PurchaseGraph, []Query) {
+	t.Helper()
+	bip, err := graphgen.Purchases(graphgen.PurchaseConfig{
+		NumCustomers: 500, NumProducts: 200,
+		PurchasesPerCustomerMean: 8, PopularityExponent: 2.3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for i := 0; i < 10; i++ {
+		qs = append(qs, Query{Op: OpCollab, Start: bip.ProductVertex(i * 7), SimilarityThreshold: 0.1})
+	}
+	return bip, qs
+}
+
+// runTrace executes q and returns deep copies of the outputs, so two
+// runs can be compared without workspace aliasing.
+func runTrace(t *testing.T, exec func(Query) (Result, *Trace, error), q Query) (Result, Trace) {
+	t.Helper()
+	res, tr, err := exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := Trace{
+		Accesses: append([]Access(nil), tr.Accesses...),
+		Touched:  append([]graph.VertexID(nil), tr.Touched...),
+	}
+	return res.Clone(), cp
+}
+
+func TestCollabFilterRunsAreIdentical(t *testing.T) {
+	bip, queries := determinismFixture(t)
+	g := bip.Graph
+
+	kernels := []struct {
+		name string
+		exec func(Query) (Result, *Trace, error)
+	}{
+		{"workspace", func(q Query) (Result, *Trace, error) {
+			return ExecuteIn(NewWorkspace(g.NumVertices()), g, q)
+		}},
+		{"reference", func(q Query) (Result, *Trace, error) {
+			return ExecuteReference(g, q)
+		}},
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			for qi, q := range queries {
+				res1, tr1 := runTrace(t, k.exec, q)
+				res2, tr2 := runTrace(t, k.exec, q)
+				label := fmt.Sprintf("q%d(start=%d)", qi, q.Start)
+				if !reflect.DeepEqual(res1, res2) {
+					t.Fatalf("%s: results differ between identical runs:\n1: %+v\n2: %+v", label, res1, res2)
+				}
+				if !reflect.DeepEqual(tr1, tr2) {
+					t.Fatalf("%s: traces differ between identical runs (access order is not deterministic)", label)
+				}
+			}
+		})
+	}
+}
+
+// RandomWalk accumulates visit counts the same way; pin it too.
+func TestRandomWalkRunsAreIdentical(t *testing.T) {
+	bip, _ := determinismFixture(t)
+	g := bip.Graph
+	q := Query{Op: OpRWR, Start: bip.CustomerVertex(1), Steps: 600, RestartProb: 0.2, TopK: 15, Seed: 99}
+
+	ws := NewWorkspace(g.NumVertices())
+	res1, tr1 := runTrace(t, func(q Query) (Result, *Trace, error) { return ExecuteIn(ws, g, q) }, q)
+	res2, tr2 := runTrace(t, func(q Query) (Result, *Trace, error) { return ExecuteIn(ws, g, q) }, q)
+	if !reflect.DeepEqual(res1, res2) || !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("seeded RWR runs diverged")
+	}
+	ref1, rtr1 := runTrace(t, func(q Query) (Result, *Trace, error) { return ExecuteReference(g, q) }, q)
+	ref2, rtr2 := runTrace(t, func(q Query) (Result, *Trace, error) { return ExecuteReference(g, q) }, q)
+	if !reflect.DeepEqual(ref1, ref2) || !reflect.DeepEqual(rtr1, rtr2) {
+		t.Fatal("seeded reference RWR runs diverged")
+	}
+}

@@ -1,0 +1,336 @@
+package traverse
+
+import (
+	"sort"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/xrand"
+)
+
+// The reference kernels are the original map-based traversal engines,
+// kept as the executable specification the Workspace kernels are
+// pinned against: the differential tests require identical Results
+// and bit-identical Trace.Accesses/Touched sequences between the two
+// implementations on every graph family. They allocate per query and
+// are not used on the hot path.
+//
+// Determinism note: the reference kernels iterate hop-2 state in
+// insertion order through explicit side lists (buyerOrder,
+// productOrder, visitOrder) rather than ranging over the membership
+// maps. Ranging a Go map replays in randomized order, which made two
+// runs of the same seeded CollabFilter query emit trace accesses —
+// and therefore visit signatures and cache evictions — in different
+// orders. A spec must be deterministic to be pinnable, so the fix
+// lands here as well as in the Workspace kernels (which get it for
+// free from their compact side lists).
+
+// BFSReference is the map-based bounded-depth predicate BFS; see BFS
+// for semantics.
+func BFSReference(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	type frontierItem struct {
+		v     graph.VertexID
+		depth int
+	}
+	queue := []frontierItem{{q.Start, 0}}
+	enqueued := map[graph.VertexID]bool{q.Start: true}
+	visited := 0
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		v := item.v
+
+		acc := trace.touchVertex(g, v, seen)
+		if q.VertexPred != nil && !q.VertexPred(g.VertexProps(v)) {
+			continue
+		}
+		visited++
+		if q.MaxVisits > 0 && visited >= q.MaxVisits {
+			break
+		}
+		if item.depth >= q.Depth {
+			continue
+		}
+		lo, hi := g.EdgeSlots(v)
+		trace.chargeScan(acc, int(hi-lo))
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			if enqueued[u] {
+				continue
+			}
+			enqueued[u] = true
+			queue = append(queue, frontierItem{u, item.depth + 1})
+		}
+	}
+	return Result{Visited: visited}, trace
+}
+
+// BoundedSSSPReference is the map-based bidirectional bounded SSSP;
+// see BoundedSSSP for semantics.
+func BoundedSSSPReference(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+
+	if q.Start == q.Target {
+		trace.touchVertex(g, q.Start, seen)
+		return Result{Visited: 1, Found: true, PathLen: 0}, trace
+	}
+
+	distA := map[graph.VertexID]int{q.Start: 0}
+	distB := map[graph.VertexID]int{q.Target: 0}
+	frontierA := []graph.VertexID{q.Start}
+	frontierB := []graph.VertexID{q.Target}
+	accA := map[graph.VertexID]int{q.Start: trace.touchVertex(g, q.Start, seen)}
+	accB := map[graph.VertexID]int{q.Target: trace.touchVertex(g, q.Target, seen)}
+	visited := 2
+	capped := false // MaxVisits reached: the search gives up expanding
+
+	limitA := (q.Depth + 1) / 2 // ceil(δ/2)
+	limitB := q.Depth / 2       // floor(δ/2); combined = δ
+	depthA, depthB := 0, 0
+	best := -1
+
+	expand := func(frontier []graph.VertexID, mine, other map[graph.VertexID]int, accIdx map[graph.VertexID]int, depth int) []graph.VertexID {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			if capped {
+				break
+			}
+			lo, hi := g.EdgeSlots(v)
+			trace.chargeScan(accIdx[v], int(hi-lo))
+			for s := lo; s < hi; s++ {
+				if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+					continue
+				}
+				u := g.TargetAt(s)
+				if _, ok := mine[u]; ok {
+					continue
+				}
+				mine[u] = depth + 1
+				accIdx[u] = trace.touchVertex(g, u, seen)
+				visited++
+				if d, ok := other[u]; ok {
+					total := depth + 1 + d
+					if best < 0 || total < best {
+						best = total
+					}
+					continue
+				}
+				if q.MaxVisits > 0 && visited >= q.MaxVisits {
+					capped = true
+					break
+				}
+				next = append(next, u)
+			}
+		}
+		return next
+	}
+
+	for !capped && ((depthA < limitA && len(frontierA) > 0) || (depthB < limitB && len(frontierB) > 0)) {
+		// Alternate sides, smaller frontier first, the usual
+		// bidirectional heuristic.
+		expandA := depthA < limitA && len(frontierA) > 0 &&
+			(depthB >= limitB || len(frontierB) == 0 || len(frontierA) <= len(frontierB))
+		if expandA {
+			frontierA = expand(frontierA, distA, distB, accA, depthA)
+			depthA++
+		} else {
+			frontierB = expand(frontierB, distB, distA, accB, depthB)
+			depthB++
+		}
+		if best >= 0 && best <= depthA+depthB {
+			// No shorter meeting can appear once both processed
+			// depths cover the best found length.
+			break
+		}
+	}
+	if best >= 0 && best <= q.Depth {
+		return Result{Visited: visited, Found: true, PathLen: best}, trace
+	}
+	return Result{Visited: visited, Found: false}, trace
+}
+
+// CollabFilterReference is the map-based collaborative filter; see
+// CollabFilter for semantics.
+func CollabFilterReference(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	v := q.Start
+	vAcc := trace.touchVertex(g, v, seen)
+	visited := 1
+
+	// Hop 1: buyers of v, in adjacency (= insertion) order.
+	buyers := make(map[graph.VertexID]bool)
+	buyerAcc := make(map[graph.VertexID]int)
+	var buyerOrder []graph.VertexID
+	lo, hi := g.EdgeSlots(v)
+	trace.chargeScan(vAcc, int(hi-lo))
+	for s := lo; s < hi; s++ {
+		u := g.TargetAt(s)
+		if !buyers[u] {
+			buyers[u] = true
+			buyerAcc[u] = trace.touchVertex(g, u, seen)
+			buyerOrder = append(buyerOrder, u)
+			visited++
+		}
+	}
+	degV := len(buyers)
+	if degV == 0 {
+		return Result{Visited: visited}, trace
+	}
+
+	// Hop 2: co-purchased products, counting shared buyers. Iterate
+	// buyers and record products in first-touch order — not map-range
+	// order — so the emitted trace is identical run to run.
+	shared := make(map[graph.VertexID]int)
+	var productOrder []graph.VertexID
+	for _, u := range buyerOrder {
+		ulo, uhi := g.EdgeSlots(u)
+		trace.chargeScan(buyerAcc[u], int(uhi-ulo))
+		for s := ulo; s < uhi; s++ {
+			p := g.TargetAt(s)
+			if p == v {
+				continue
+			}
+			if shared[p] == 0 {
+				trace.touchVertex(g, p, seen)
+				productOrder = append(productOrder, p)
+				visited++
+			}
+			shared[p]++
+		}
+	}
+
+	var recs []Recommendation
+	for _, p := range productOrder {
+		count := shared[p]
+		degP := g.Degree(p)
+		minDeg := degV
+		if degP < minDeg {
+			minDeg = degP
+		}
+		if minDeg == 0 {
+			continue
+		}
+		sim := float64(count) / float64(minDeg)
+		if sim > q.SimilarityThreshold {
+			recs = append(recs, Recommendation{Product: p, Similarity: sim})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Similarity != recs[j].Similarity {
+			return recs[i].Similarity > recs[j].Similarity
+		}
+		return recs[i].Product < recs[j].Product
+	})
+	return Result{Visited: visited, Recommendations: recs}, trace
+}
+
+// RandomWalkReference is the map-based random walk with restart; see
+// RandomWalk for semantics.
+func RandomWalkReference(g *graph.Graph, q Query) (Result, *Trace) {
+	trace := &Trace{}
+	seen := make(map[graph.VertexID]bool)
+	rng := xrand.New(q.Seed)
+
+	start := q.Start
+	lastAcc := trace.touchVertex(g, start, seen)
+	counts := make(map[graph.VertexID]int)
+	var visitOrder []graph.VertexID
+	cur := start
+	visited := 1
+
+	for step := 0; step < q.Steps; step++ {
+		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
+			cur = start
+			// Restart revisits the cached start record.
+			lastAcc = trace.touchVertex(g, start, seen)
+			continue
+		}
+		lo, hi := g.EdgeSlots(cur)
+		if hi == lo {
+			cur = start // dead end: restart
+			lastAcc = trace.touchVertex(g, start, seen)
+			continue
+		}
+		// Normalizer Z over the incident similarities (edge weights
+		// are inline in the current record: CPU only).
+		trace.chargeScan(lastAcc, int(hi-lo))
+		var z float64
+		for s := lo; s < hi; s++ {
+			z += float64(g.Weight(g.LogicalEdge(s)))
+		}
+		if z <= 0 {
+			cur = start
+			continue
+		}
+		pick := rng.Float64() * z
+		next := g.TargetAt(hi - 1)
+		for s := lo; s < hi; s++ {
+			pick -= float64(g.Weight(g.LogicalEdge(s)))
+			if pick <= 0 {
+				next = g.TargetAt(s)
+				break
+			}
+		}
+		cur = next
+		if !seen[cur] {
+			visited++
+		}
+		lastAcc = trace.touchVertex(g, cur, seen)
+		if counts[cur] == 0 {
+			visitOrder = append(visitOrder, cur)
+		}
+		counts[cur]++
+	}
+
+	ranking := make([]Ranked, 0, len(counts))
+	for _, v := range visitOrder {
+		if v == start {
+			continue
+		}
+		ranking = append(ranking, Ranked{Vertex: v, Score: float64(counts[v]) / float64(q.Steps)})
+	}
+	sort.Slice(ranking, func(i, j int) bool {
+		if ranking[i].Score != ranking[j].Score {
+			return ranking[i].Score > ranking[j].Score
+		}
+		return ranking[i].Vertex < ranking[j].Vertex
+	})
+	if q.TopK > 0 && len(ranking) > q.TopK {
+		ranking = ranking[:q.TopK]
+	}
+	if len(ranking) == 0 {
+		ranking = nil // normalize: Result carries nil, never empty-non-nil
+	}
+	return Result{Visited: visited, Ranking: ranking}, trace
+}
+
+// ExecuteReference dispatches a query to its reference engine —
+// Execute's executable spec, used by differential tests and the
+// kernel benchmark's before/after baseline.
+func ExecuteReference(g *graph.Graph, q Query) (Result, *Trace, error) {
+	if err := q.Validate(g); err != nil {
+		return Result{}, nil, err
+	}
+	switch q.Op {
+	case OpBFS:
+		r, tr := BFSReference(g, q)
+		return r, tr, nil
+	case OpSSSP:
+		r, tr := BoundedSSSPReference(g, q)
+		return r, tr, nil
+	case OpCollab:
+		r, tr := CollabFilterReference(g, q)
+		return r, tr, nil
+	case OpRWR:
+		r, tr := RandomWalkReference(g, q)
+		return r, tr, nil
+	}
+	return Result{}, nil, errUnreachableOp(q.Op)
+}

@@ -19,13 +19,22 @@ import (
 //
 // The walk is deterministic given q.Seed.
 func RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
-	trace := &Trace{}
-	seen := make(map[graph.VertexID]bool)
-	rng := xrand.New(q.Seed)
+	return NewWorkspace(g.NumVertices()).RandomWalk(g, q)
+}
+
+// RandomWalk is the dense-scratch kernel: visit counts accumulate in
+// an epoch-stamped map plus a first-visit-ordered side list, the RNG
+// lives on the stack (Reseed, no per-query generator allocation), and
+// the ranking is built in the pooled result buffer. Pinned bit-for-bit
+// against RandomWalkReference.
+func (ws *Workspace) RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
+	ws.begin(g)
+	var rng xrand.RNG
+	rng.Reseed(q.Seed)
 
 	start := q.Start
-	lastAcc := trace.touchVertex(g, start, seen)
-	counts := make(map[graph.VertexID]int)
+	lastAcc := ws.touch(g, start)
+	counts := &ws.scratch.mapA
 	cur := start
 	visited := 1
 
@@ -33,18 +42,18 @@ func RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
 		if q.RestartProb > 0 && rng.Float64() < q.RestartProb {
 			cur = start
 			// Restart revisits the cached start record.
-			lastAcc = trace.touchVertex(g, start, seen)
+			lastAcc = ws.touch(g, start)
 			continue
 		}
 		lo, hi := g.EdgeSlots(cur)
 		if hi == lo {
 			cur = start // dead end: restart
-			lastAcc = trace.touchVertex(g, start, seen)
+			lastAcc = ws.touch(g, start)
 			continue
 		}
 		// Normalizer Z over the incident similarities (edge weights
 		// are inline in the current record: CPU only).
-		trace.chargeScan(lastAcc, int(hi-lo))
+		ws.trace.chargeScan(lastAcc, int(hi-lo))
 		var z float64
 		for s := lo; s < hi; s++ {
 			z += float64(g.Weight(g.LogicalEdge(s)))
@@ -63,28 +72,31 @@ func RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
 			}
 		}
 		cur = next
-		if !seen[cur] {
+		if !ws.scratch.seen.Contains(cur) {
 			visited++
 		}
-		lastAcc = trace.touchVertex(g, cur, seen)
-		counts[cur]++
+		lastAcc = ws.touch(g, cur)
+		if counts.Inc(cur, 1) == 1 {
+			ws.orderA = append(ws.orderA, cur)
+		}
 	}
 
-	ranking := make([]Ranked, 0, len(counts))
-	for v, c := range counts {
+	ranking := ws.ranking[:0]
+	for _, v := range ws.orderA {
 		if v == start {
 			continue
 		}
+		c, _ := counts.Get(v)
 		ranking = append(ranking, Ranked{Vertex: v, Score: float64(c) / float64(q.Steps)})
 	}
-	sort.Slice(ranking, func(i, j int) bool {
-		if ranking[i].Score != ranking[j].Score {
-			return ranking[i].Score > ranking[j].Score
-		}
-		return ranking[i].Vertex < ranking[j].Vertex
-	})
+	ws.ranking = ranking
+	ws.rankSorter.s = ranking
+	sort.Sort(&ws.rankSorter)
 	if q.TopK > 0 && len(ranking) > q.TopK {
 		ranking = ranking[:q.TopK]
 	}
-	return Result{Visited: visited, Ranking: ranking}, trace
+	if len(ranking) == 0 {
+		ranking = nil // match the reference's nil-when-empty Result
+	}
+	return Result{Visited: visited, Ranking: ranking}, &ws.trace
 }

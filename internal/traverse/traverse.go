@@ -10,6 +10,15 @@
 // discrete-event simulator can replay the trace against a unit's cache
 // and the shared disk to obtain the traversal's cost, while the live
 // runtime charges the same accesses as it goes.
+//
+// The engines come in two forms. The Workspace kernels (Workspace.BFS
+// et al., dispatched by ExecuteIn) run against reusable epoch-stamped
+// dense scratch — O(1) reset, zero steady-state allocations — and are
+// what the executors drive. The *Reference kernels (reference.go) are
+// the original map-based implementations, retained as the executable
+// specification: differential tests pin the two bit-for-bit on every
+// Result and Trace. The package-level one-shot functions (BFS,
+// Execute, ...) allocate a private Workspace per call.
 package traverse
 
 import (
@@ -193,25 +202,51 @@ type Result struct {
 	Ranking []Ranked
 }
 
-// Execute dispatches a query to its engine. The returned trace is
-// never nil on success.
+// Clone returns a Result whose slices are private copies, safe to
+// retain after the Workspace that produced it is reused or pooled.
+func (r Result) Clone() Result {
+	if r.Recommendations != nil {
+		r.Recommendations = append([]Recommendation(nil), r.Recommendations...)
+	}
+	if r.Ranking != nil {
+		r.Ranking = append([]Ranked(nil), r.Ranking...)
+	}
+	return r
+}
+
+func errUnreachableOp(op Op) error {
+	return fmt.Errorf("traverse: unreachable op %d", op)
+}
+
+// Execute dispatches a query to its engine through a private, freshly
+// allocated Workspace, so the returned Result and Trace are caller-
+// owned. The trace is never nil on success. Hot paths reuse a
+// Workspace via ExecuteIn instead.
 func Execute(g *graph.Graph, q Query) (Result, *Trace, error) {
+	return ExecuteIn(NewWorkspace(g.NumVertices()), g, q)
+}
+
+// ExecuteIn dispatches a query to its Workspace kernel. The returned
+// Result slices and Trace are owned by ws and valid only until its
+// next kernel call — Clone the Result (and copy the Trace) to retain
+// them. The trace is never nil on success.
+func ExecuteIn(ws *Workspace, g *graph.Graph, q Query) (Result, *Trace, error) {
 	if err := q.Validate(g); err != nil {
 		return Result{}, nil, err
 	}
 	switch q.Op {
 	case OpBFS:
-		r, tr := BFS(g, q)
+		r, tr := ws.BFS(g, q)
 		return r, tr, nil
 	case OpSSSP:
-		r, tr := BoundedSSSP(g, q)
+		r, tr := ws.BoundedSSSP(g, q)
 		return r, tr, nil
 	case OpCollab:
-		r, tr := CollabFilter(g, q)
+		r, tr := ws.CollabFilter(g, q)
 		return r, tr, nil
 	case OpRWR:
-		r, tr := RandomWalk(g, q)
+		r, tr := ws.RandomWalk(g, q)
 		return r, tr, nil
 	}
-	return Result{}, nil, fmt.Errorf("traverse: unreachable op %d", q.Op)
+	return Result{}, nil, errUnreachableOp(q.Op)
 }

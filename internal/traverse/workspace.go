@@ -1,0 +1,222 @@
+package traverse
+
+import (
+	"sync"
+
+	"subtrav/internal/graph"
+)
+
+// Scratch bundles the NumVertices-sized dense structures the kernels
+// share: epoch-stamped sets and maps (see graph.VertexSet/VertexMap)
+// replacing the per-query visited/frontier/shared hash maps. A
+// Scratch is reset at the start of every traversal (an O(1) epoch
+// bump), so it can be shared by any number of Workspaces whose kernel
+// executions never overlap — the discrete-event simulator exploits
+// this: its event loop runs one kernel at a time, so P units share a
+// single Scratch instead of carrying P copies of O(|V|) arrays.
+//
+// Not safe for concurrent use.
+type Scratch struct {
+	// seen deduplicates Trace.Touched (first-visit order) — all ops.
+	seen graph.VertexSet
+	// mapA: BFS enqueued-set, SSSP side-A labels, RWR visit counts.
+	mapA graph.VertexMap
+	// mapB: SSSP side-B labels, CollabFilter shared-buyer counts.
+	mapB graph.VertexMap
+	// accA/accB: access-trace indices (SSSP per side; CollabFilter
+	// buyer record index) so scanned edges attribute to the right
+	// record access.
+	accA graph.VertexMap
+	accB graph.VertexMap
+}
+
+// NewScratch returns a Scratch sized for graphs of numVertices.
+// Running a kernel against a bigger graph grows it transparently.
+func NewScratch(numVertices int) *Scratch {
+	s := &Scratch{}
+	s.grow(numVertices)
+	return s
+}
+
+func (s *Scratch) grow(n int) {
+	s.seen.Grow(n)
+	s.mapA.Grow(n)
+	s.mapB.Grow(n)
+	s.accA.Grow(n)
+	s.accB.Grow(n)
+}
+
+func (s *Scratch) reset() {
+	s.seen.Clear()
+	s.mapA.Clear()
+	s.mapB.Clear()
+	s.accA.Clear()
+	s.accB.Clear()
+}
+
+// bfsItem is one ring-buffer frontier entry.
+type bfsItem struct {
+	v     graph.VertexID
+	depth int32
+}
+
+// Workspace is the reusable per-execution state of the traversal
+// kernels: a dense Scratch, a ring-buffer BFS frontier, reusable SSSP
+// frontier slices, insertion-ordered side lists, and pooled Trace and
+// Result scratch. A steady-state traversal through a warmed Workspace
+// performs zero heap allocations.
+//
+// Ownership contract: the *Trace returned by a Workspace kernel, and
+// the Recommendations/Ranking slices inside its Result, are owned by
+// the Workspace and remain valid only until its next kernel call (or
+// Pool.Put). Callers that retain a Result across executions must
+// Clone it; callers that retain the Trace must copy its slices. The
+// one-shot package functions (BFS, Execute, ...) allocate a private
+// Workspace per call and are exempt — their outputs are never reused.
+//
+// Not safe for concurrent use; use a Pool to share across goroutines.
+type Workspace struct {
+	scratch *Scratch
+
+	// ring is the BFS frontier: a power-of-two ring buffer replacing
+	// the queue[1:] shift (which kept the backing array's dead head
+	// alive and re-allocated on every wrap of append).
+	ring     []bfsItem
+	ringHead int
+	ringLen  int
+
+	// SSSP frontier double-buffers, one pair per search side.
+	frontA, nextA []graph.VertexID
+	frontB, nextB []graph.VertexID
+
+	// orderA/orderB are insertion-ordered compact side lists: the
+	// deterministic iteration substrate that replaces map-range order
+	// (CollabFilter buyers/products, RWR visit-count accumulation).
+	orderA, orderB []graph.VertexID
+
+	// Pooled outputs (see the ownership contract above).
+	trace   Trace
+	recs    []Recommendation
+	ranking []Ranked
+
+	// Reusable sorters: sort.Sort through a pointer field costs no
+	// allocation, unlike sort.Slice's closure + reflect swapper.
+	recSorter  recSorter
+	rankSorter rankSorter
+}
+
+// NewWorkspace returns a Workspace with a private Scratch sized for
+// graphs of numVertices.
+func NewWorkspace(numVertices int) *Workspace {
+	return &Workspace{scratch: NewScratch(numVertices)}
+}
+
+// NewWorkspaceWithScratch returns a Workspace borrowing a shared
+// Scratch. The caller must guarantee kernel executions across all
+// Workspaces sharing it never overlap (e.g. a single-threaded event
+// loop); each Workspace still keeps private frontier/trace/result
+// buffers, so outputs live independently of sibling executions.
+func NewWorkspaceWithScratch(s *Scratch) *Workspace {
+	return &Workspace{scratch: s}
+}
+
+// begin readies the workspace for one traversal over g.
+func (ws *Workspace) begin(g *graph.Graph) {
+	ws.scratch.grow(g.NumVertices())
+	ws.scratch.reset()
+	ws.trace.Accesses = ws.trace.Accesses[:0]
+	ws.trace.Touched = ws.trace.Touched[:0]
+	ws.ringHead, ws.ringLen = 0, 0
+	ws.orderA = ws.orderA[:0]
+	ws.orderB = ws.orderB[:0]
+}
+
+// touch appends a vertex record access to the pooled trace,
+// deduplicating Touched through the dense seen-set, and returns the
+// access index (mirrors Trace.touchVertex on map state).
+func (ws *Workspace) touch(g *graph.Graph, v graph.VertexID) int {
+	t := &ws.trace
+	t.Accesses = append(t.Accesses, Access{Vertex: v, Bytes: g.VertexBytes(v)})
+	if ws.scratch.seen.Add(v) {
+		t.Touched = append(t.Touched, v)
+	}
+	return len(t.Accesses) - 1
+}
+
+// ringPush appends to the BFS frontier, growing the ring on demand.
+func (ws *Workspace) ringPush(v graph.VertexID, depth int32) {
+	if ws.ringLen == len(ws.ring) {
+		n := 2 * len(ws.ring)
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]bfsItem, n)
+		for i := 0; i < ws.ringLen; i++ {
+			grown[i] = ws.ring[(ws.ringHead+i)&(len(ws.ring)-1)]
+		}
+		ws.ring = grown
+		ws.ringHead = 0
+	}
+	ws.ring[(ws.ringHead+ws.ringLen)&(len(ws.ring)-1)] = bfsItem{v, depth}
+	ws.ringLen++
+}
+
+// ringPop removes and returns the frontier head (FIFO).
+func (ws *Workspace) ringPop() bfsItem {
+	it := ws.ring[ws.ringHead]
+	ws.ringHead = (ws.ringHead + 1) & (len(ws.ring) - 1)
+	ws.ringLen--
+	return it
+}
+
+// recSorter orders recommendations best-first, product ID tie-break —
+// the same total order CollabFilterReference sorts by, so any
+// conforming sort yields identical output.
+type recSorter struct{ s []Recommendation }
+
+func (r *recSorter) Len() int      { return len(r.s) }
+func (r *recSorter) Swap(i, j int) { r.s[i], r.s[j] = r.s[j], r.s[i] }
+func (r *recSorter) Less(i, j int) bool {
+	if r.s[i].Similarity != r.s[j].Similarity {
+		return r.s[i].Similarity > r.s[j].Similarity
+	}
+	return r.s[i].Product < r.s[j].Product
+}
+
+// rankSorter orders RWR rankings best-first, vertex ID tie-break.
+type rankSorter struct{ s []Ranked }
+
+func (r *rankSorter) Len() int      { return len(r.s) }
+func (r *rankSorter) Swap(i, j int) { r.s[i], r.s[j] = r.s[j], r.s[i] }
+func (r *rankSorter) Less(i, j int) bool {
+	if r.s[i].Score != r.s[j].Score {
+		return r.s[i].Score > r.s[j].Score
+	}
+	return r.s[i].Vertex < r.s[j].Vertex
+}
+
+// Pool is a concurrency-safe checkout of Workspaces, backed by
+// sync.Pool: the live runtime's workers borrow one per query, so the
+// number of live Workspaces tracks the number of concurrently
+// executing traversals and idle ones are reclaimed under memory
+// pressure.
+type Pool struct {
+	numVertices int
+	pool        sync.Pool
+}
+
+// NewPool returns a pool of Workspaces pre-sized for graphs of
+// numVertices.
+func NewPool(numVertices int) *Pool {
+	p := &Pool{numVertices: numVertices}
+	p.pool.New = func() any { return NewWorkspace(p.numVertices) }
+	return p
+}
+
+// Get checks out a Workspace. Return it with Put when the execution's
+// outputs have been consumed (or cloned).
+func (p *Pool) Get() *Workspace { return p.pool.Get().(*Workspace) }
+
+// Put returns a Workspace to the pool. The caller must not touch the
+// Workspace — or any Trace/Result memory it produced — afterwards.
+func (p *Pool) Put(ws *Workspace) { p.pool.Put(ws) }

@@ -22,6 +22,11 @@ type RNG struct {
 // New returns a generator seeded with seed.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed resets r to the exact stream of New(seed). It lets hot paths
+// keep an RNG by value (or embedded in a reusable workspace) instead
+// of allocating a fresh generator per query.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from the parent by an extra mixing step.
 func (r *RNG) Split() *RNG { return &RNG{state: mix(r.Uint64() ^ 0x9e3779b97f4a7c15)} }
