@@ -6,6 +6,11 @@
 //	graphgen -type powerlaw -scale small -seed 42 -out twitter.g
 //	graphgen -type random   -scale small -seed 42 -out random.g
 //	graphgen -info twitter.g
+//
+// Graphs are written in the version-2 flat binary CSR format by
+// default (-format csr), which loads with one read or mmap; pass
+// -format gob for the version-1 encoding. -info auto-detects the
+// format by magic, so files from either version open transparently.
 package main
 
 import (
@@ -27,11 +32,23 @@ func main() {
 		out        = flag.String("out", "", "output file (required unless -info)")
 		info       = flag.String("info", "", "print statistics of an existing graph file and exit")
 		partitions = flag.Int("partitions", 0, "compute this many balanced partitions and attach labels")
+		format     = flag.String("format", "csr", "output format: csr (v2 flat binary, default), gob (v1)")
 	)
 	flag.Parse()
 
+	writeGraph := func(path string, g *graph.Graph) error {
+		switch *format {
+		case "csr":
+			return graphio.WriteCSRFile(path, g)
+		case "gob":
+			return graphio.WriteFile(path, g)
+		default:
+			return fmt.Errorf("unknown format %q (want csr or gob)", *format)
+		}
+	}
+
 	if *info != "" {
-		g, err := graphio.ReadFile(*info)
+		g, err := graphio.ReadGraphFile(*info)
 		if err != nil {
 			fatal(err)
 		}
@@ -100,7 +117,7 @@ func main() {
 		g = partition.Apply(g, res.Labels)
 		fmt.Printf("partitioned into %d parts, edge cut %.1f%%\n", *partitions, 100*res.CutFraction)
 	}
-	if err := graphio.WriteFile(*out, g); err != nil {
+	if err := writeGraph(*out, g); err != nil {
 		fatal(err)
 	}
 	printStats(*out, g)

@@ -12,7 +12,9 @@
 // (internal/schedbench) and writes the tracked BENCH_sched.json
 // baseline, "traverse" runs the traversal-kernel microbenchmarks
 // (internal/travbench) and writes the tracked BENCH_traverse.json
-// baseline.
+// baseline, "graphio" runs the snapshot-loading microbenchmarks
+// (internal/graphiobench, v1 gob vs v2 flat CSR) and writes the
+// tracked BENCH_graphio.json baseline.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"subtrav"
 	"subtrav/internal/experiments"
+	"subtrav/internal/graphiobench"
 	"subtrav/internal/schedbench"
 	"subtrav/internal/travbench"
 )
@@ -38,10 +41,10 @@ func main() {
 		n      = flag.Int("queries", 0, "queries per run override")
 		out    = flag.String("out", "", "benchmark report path (default BENCH_sched.json / BENCH_traverse.json per suite)")
 		par    = flag.Int("parallelism", 0, "sched benchmark: scorer row-construction goroutines (0 = sequential)")
-		check  = flag.Bool("check", false, "traverse benchmark: fail unless the mid-size BFS cell clears the acceptance floors (full runs only)")
+		check  = flag.Bool("check", false, "traverse/graphio benchmarks: fail unless the mid-size cell clears the acceptance floors")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|traverse|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|traverse|graphio|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -131,6 +134,8 @@ func main() {
 			runSched(*quick, *par, defaultPath(*out, "BENCH_sched.json"))
 		case "traverse":
 			runTraverse(*quick, *check, defaultPath(*out, "BENCH_traverse.json"))
+		case "graphio":
+			runGraphio(*quick, *check, defaultPath(*out, "BENCH_graphio.json"))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -187,6 +192,38 @@ func runTraverse(smoke, check bool, path string) {
 	}
 	if check && !smoke {
 		if err := rep.CheckThresholds(3, 10); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results, smoke=%v)\n", path, len(rep.Results), rep.Smoke)
+}
+
+// runGraphio executes the snapshot-loading suite (v1 gob vs v2 flat
+// CSR) and writes the BENCH_graphio.json report. -quick maps to smoke
+// mode; -check enforces the mid-size plain-fixture acceptance floor
+// (≥10x fewer allocs/op on the v2 path), which holds even in smoke
+// mode because allocation counts are deterministic.
+func runGraphio(smoke, check bool, path string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := graphiobench.Run(smoke, logf)
+	if err != nil {
+		fatal(err)
+	}
+	if check {
+		if err := rep.CheckThresholds(10); err != nil {
 			fatal(err)
 		}
 	}

@@ -166,40 +166,18 @@ func (b *Builder) Build() *Graph {
 			g.ebytes[i] = int32(edgeBaseBytes + p.SerializedBytes())
 		}
 	}
-	// A vertex record models how property-graph stores lay data out:
-	// the vertex header and properties plus its adjacency list with
-	// inline edge properties — one contiguous fetch from the shared
-	// disk. Dense neighborhoods therefore ship more edges per record
-	// read, the effect behind the paper's Figure 11 discussion.
-	g.vbytes = make([]int32, b.n)
-	for v := VertexID(0); int(v) < b.n; v++ {
-		bytes := int64(vertexBaseBytes)
-		if p, ok := b.vprops[v]; ok {
-			bytes += int64(p.SerializedBytes())
-		}
-		lo, hi := g.offsets[v], g.offsets[v+1]
-		for s := lo; s < hi; s++ {
-			e := s
-			if needIdx {
-				e = int64(g.edgeIdx[s])
-			}
-			if g.ebytes != nil {
-				bytes += int64(g.ebytes[e])
-			} else {
-				bytes += edgeBaseBytes
-			}
-		}
-		if bytes > 1<<30 {
-			bytes = 1 << 30
-		}
-		g.vbytes[v] = int32(bytes)
-	}
 	if len(b.vprops) > 0 {
 		g.vprops = make([]Properties, b.n)
 		for v, p := range b.vprops {
 			g.vprops[v] = p
 		}
 	}
+	// A vertex record models how property-graph stores lay data out:
+	// the vertex header and properties plus its adjacency list with
+	// inline edge properties — one contiguous fetch from the shared
+	// disk. Dense neighborhoods therefore ship more edges per record
+	// read, the effect behind the paper's Figure 11 discussion.
+	g.vbytes = g.computeVertexBytes()
 	if b.part != nil {
 		g.part = b.part
 		maxLabel := int32(-1)

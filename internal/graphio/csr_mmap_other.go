@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graphio
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapReadOnly(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package graphio
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapReadOnly maps size bytes of f read-only and shared; the returned
+// closure unmaps.
+func mmapReadOnly(f *os.File, size int64) ([]byte, func() error, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -43,6 +43,74 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadCSR asserts the v2 flat-CSR decoder never panics and never
+// over-allocates on arbitrary bytes: hostile headers must surface as
+// errors before any count-proportional allocation. When a decode
+// succeeds, the graph must be scannable, the copying decode path must
+// agree, and the re-encode must round-trip.
+func FuzzReadCSR(f *testing.F) {
+	// Seed with a valid file exercising all sections, truncations at
+	// every section boundary, and per-section checksum flips.
+	b := graph.NewBuilder(graph.Undirected, 5)
+	b.AddEdgeFull(0, 1, 0.5, graph.Properties{"k": graph.String("v")})
+	b.AddWeightedEdge(1, 2, 2)
+	b.AddEdge(3, 4)
+	b.SetVertexProps(0, graph.Properties{"n": graph.Int(7), "b": graph.Blob(64)})
+	b.SetPartition([]int32{0, 0, 1, 1, 1})
+	var buf bytes.Buffer
+	if err := WriteCSR(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(csrMagic))
+	f.Add([]byte("garbage that is long enough to not be a header"))
+	nSec := int(le.Uint32(valid[44:]))
+	for i := 0; i < nSec; i++ {
+		e := valid[csrHeaderSize+i*csrEntrySize:]
+		off := le.Uint64(e[8:])
+		f.Add(valid[:off]) // truncate at the section boundary
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0xff // flip the section checksum's coverage
+		f.Add(flipped)
+	}
+	hostile := append([]byte(nil), valid...)
+	le.PutUint64(hostile[16:], 1<<31) // vertex count far beyond the file
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSR(data)
+		if err != nil {
+			return
+		}
+		if _, err := decodeCSR(data, true); err != nil {
+			t.Fatalf("alias decode succeeded but copy decode failed: %v", err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			id := graph.VertexID(v)
+			_ = g.Neighbors(id)
+			_ = g.VertexBytes(id)
+			_ = g.VertexProps(id)
+			_ = g.Partition(id)
+			lo, hi := g.EdgeSlots(id)
+			for s := lo; s < hi; s++ {
+				e := g.LogicalEdge(s)
+				_ = g.Weight(e)
+				_ = g.EdgeProps(e)
+				_ = g.EdgeBytes(e)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteCSR(&out, g); err != nil {
+			t.Fatalf("re-encode of a decoded graph failed: %v", err)
+		}
+		if _, err := ReadCSR(out.Bytes()); err != nil {
+			t.Fatalf("re-decode of a re-encoded graph failed: %v", err)
+		}
+	})
+}
+
 // FuzzReadCorpus is FuzzRead for the corpus container.
 func FuzzReadCorpus(f *testing.F) {
 	f.Add([]byte{})

@@ -1,6 +1,10 @@
-// Package graphio persists property graphs to disk (gob encoding), so
-// the CLI tools can generate a dataset once and reuse it across
-// experiment runs.
+// Package graphio persists property graphs to disk so the CLI tools
+// can generate a dataset once and reuse it across experiment runs.
+// Two formats coexist: the version-1 gob encoding in this file (the
+// original executable spec, kept for backward compatibility) and the
+// version-2 flat binary CSR snapshot in csr.go, which loads with one
+// read or mmap and zero per-vertex allocation. ReadGraphFile
+// auto-detects the format by magic.
 package graphio
 
 import (

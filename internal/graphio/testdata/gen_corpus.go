@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
@@ -41,6 +42,35 @@ func main() {
 	write("FuzzRead", "bitflip", flipped)
 	write("FuzzRead", "empty", nil)
 	write("FuzzRead", "garbage", []byte("garbage"))
+
+	// FuzzReadCSR: a v2 file with all sections, truncations at every
+	// section boundary, per-section bit flips, and a hostile header.
+	cb := graph.NewBuilder(graph.Undirected, 5)
+	cb.AddEdgeFull(0, 1, 0.5, graph.Properties{"k": graph.String("v")})
+	cb.AddWeightedEdge(1, 2, 2)
+	cb.AddEdge(3, 4)
+	cb.SetVertexProps(0, graph.Properties{"n": graph.Int(7), "b": graph.Blob(64)})
+	cb.SetPartition([]int32{0, 0, 1, 1, 1})
+	buf.Reset()
+	if err := graphio.WriteCSR(&buf, cb.Build()); err != nil {
+		log.Fatal(err)
+	}
+	validCSR := buf.Bytes()
+	write("FuzzReadCSR", "valid", validCSR)
+	write("FuzzReadCSR", "empty", nil)
+	write("FuzzReadCSR", "magic_only", validCSR[:8])
+	nSec := int(binary.LittleEndian.Uint32(validCSR[44:]))
+	for i := 0; i < nSec; i++ {
+		e := validCSR[64+i*32:]
+		off := binary.LittleEndian.Uint64(e[8:])
+		write("FuzzReadCSR", fmt.Sprintf("trunc_sec%d", i), validCSR[:off])
+		flipped := append([]byte(nil), validCSR...)
+		flipped[off] ^= 0xff
+		write("FuzzReadCSR", fmt.Sprintf("crcflip_sec%d", i), flipped)
+	}
+	hostile := append([]byte(nil), validCSR...)
+	binary.LittleEndian.PutUint64(hostile[16:], 1<<31)
+	write("FuzzReadCSR", "hostile_counts", hostile)
 
 	corpus, err := graphgen.Images(graphgen.ImageCorpusConfig{
 		NumPersons: 3, ImagesPerPersonMin: 3, ImagesPerPersonMax: 5,

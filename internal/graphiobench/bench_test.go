@@ -1,0 +1,99 @@
+package graphiobench
+
+import (
+	"testing"
+)
+
+// BenchmarkLoad measures every (op, format, size) cell via the exact
+// closures the JSON emitter drives. Run with -benchtime=1x for a smoke
+// check (CI does).
+func BenchmarkLoad(b *testing.B) {
+	for _, v := range Sizes {
+		for _, meta := range Metas {
+			fx, err := NewFixture(v, meta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, op := range fx.Ops() {
+				op := op
+				b.Run(Cell(op.Name, "gob", v, meta), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := op.Gob(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.Run(Cell(op.Name, "csr", v, meta), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := op.CSR(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunSmoke proves the emitter end to end: a smoke run over the
+// full matrix must produce a well-formed report with every cell, a
+// speedup entry per (op, size), resident numbers per size — and the
+// v2 path must already clear the 10x allocation floor (allocation
+// counts are deterministic, unlike timings).
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(true, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Smoke {
+		t.Error("smoke flag not set")
+	}
+	wantCells := len(Sizes) * len(Metas) * 2 // ops
+	if len(rep.Speedup) != wantCells {
+		t.Errorf("speedup entries: %d, want %d", len(rep.Speedup), wantCells)
+	}
+	if len(rep.Results) != 2*wantCells {
+		t.Errorf("results: %d, want %d", len(rep.Results), 2*wantCells)
+	}
+	if len(rep.Resident) != len(Sizes)*len(Metas) {
+		t.Errorf("resident entries: %d, want %d", len(rep.Resident), len(Sizes)*len(Metas))
+	}
+	for _, res := range rep.Results {
+		if res.Iters != 1 {
+			t.Errorf("%s: smoke iters = %d, want 1", res.Name, res.Iters)
+		}
+		if res.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %g, want > 0", res.Name, res.NsPerOp)
+		}
+	}
+	if err := rep.CheckThresholds(10); err != nil {
+		t.Errorf("threshold check: %v", err)
+	}
+}
+
+// TestFirstQueryAgrees pins that both formats decode to graphs whose
+// full adjacency sweep produces the same checksum — a cheap
+// differential guard inside the benchmark package itself.
+func TestFirstQueryAgrees(t *testing.T) {
+	fx, err := NewFixture(Sizes[0], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobG, err := fx.LoadGob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrG, err := fx.LoadCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FirstQuery(fx.Graph)
+	if got := FirstQuery(gobG); got != want {
+		t.Errorf("gob sweep checksum %d, want %d", got, want)
+	}
+	if got := FirstQuery(csrG); got != want {
+		t.Errorf("csr sweep checksum %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,157 @@
+// Package graphiobench builds the reproducible graph-loading benchmark
+// workloads shared by the `go test -bench` suite (bench_test.go) and
+// the `subtrav-bench graphio` command, which runs the same workloads
+// and emits the tracked BENCH_graphio.json artifact (see report.go).
+//
+// The suite compares the two on-disk snapshot formats end to end: the
+// version-1 gob encoding, which rebuilds the graph edge by edge
+// through the Builder and allocates per vertex and per edge, and the
+// version-2 flat binary CSR snapshot, which validates checksums and
+// serves its columns as slices aliasing the input buffer. Each cell
+// measures decode latency (time-to-first-query), allocations, bytes
+// churned, and the heap retained by the decoded graph.
+package graphiobench
+
+import (
+	"bytes"
+	"fmt"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/graphio"
+	"subtrav/internal/partition"
+)
+
+// Sizes is the tracked vertex-count axis. MidSize is the cell the
+// acceptance thresholds are checked against.
+var Sizes = []int{4096, 32768}
+
+// MidSize is the mid-size fixture (see Sizes).
+const MidSize = 32768
+
+// Degree is the fixture's average degree.
+const Degree = 16
+
+// Seed pins fixture generation.
+const Seed = 0x6C0ADB19
+
+// Metas is the tracked metadata axis. The plain fixture (structure,
+// weights, partition) isolates the column load that the v2 format
+// serves zero-copy; the meta fixture adds per-vertex and per-edge
+// property maps, which both formats must materialize entity by entity
+// and which therefore dominate its allocation counts.
+var Metas = []bool{false, true}
+
+// Fixture is one reproducible loading workload: a seeded power-law
+// social graph with computed partition labels — optionally carrying
+// full vertex and edge metadata — encoded once in each format.
+type Fixture struct {
+	V     int
+	Meta  bool
+	Graph *graph.Graph
+
+	Gob []byte // version-1 encoding of Graph
+	CSR []byte // version-2 encoding of Graph
+}
+
+// NewFixture builds the workload for v vertices.
+func NewFixture(v int, meta bool) (*Fixture, error) {
+	g, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: v,
+		NumEdges:    v * Degree / 2,
+		Exponent:    2.3,
+		Kind:        graph.Undirected,
+		Seed:        Seed,
+		VertexMeta:  meta,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graphiobench: fixture: %w", err)
+	}
+	part, err := partition.Compute(g, partition.Config{NumPartitions: 8, Seed: Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("graphiobench: fixture partition: %w", err)
+	}
+	g = partition.Apply(g, part.Labels)
+
+	var gobBuf, csrBuf bytes.Buffer
+	if err := graphio.Write(&gobBuf, g); err != nil {
+		return nil, fmt.Errorf("graphiobench: gob encode: %w", err)
+	}
+	if err := graphio.WriteCSR(&csrBuf, g); err != nil {
+		return nil, fmt.Errorf("graphiobench: csr encode: %w", err)
+	}
+	return &Fixture{V: v, Meta: meta, Graph: g, Gob: gobBuf.Bytes(), CSR: csrBuf.Bytes()}, nil
+}
+
+// LoadGob decodes the v1 snapshot; the return is the loaded graph so
+// benchmarks keep it live.
+func (fx *Fixture) LoadGob() (*graph.Graph, error) {
+	return graphio.Read(bytes.NewReader(fx.Gob))
+}
+
+// LoadCSR decodes the v2 snapshot zero-copy from the in-memory buffer.
+func (fx *Fixture) LoadCSR() (*graph.Graph, error) {
+	return graphio.ReadCSR(fx.CSR)
+}
+
+// FirstQuery is the query part of time-to-first-query: a full
+// adjacency sweep touching every vertex's neighbor list, the access
+// pattern of a traversal kernel's first frontier expansion. The
+// checksum defeats dead-code elimination.
+func FirstQuery(g *graph.Graph) int64 {
+	var sum int64
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			sum += int64(u)
+		}
+	}
+	return sum
+}
+
+// Cell names one (op, format, size, meta) coordinate, go-bench style.
+func Cell(op, format string, v int, meta bool) string {
+	return fmt.Sprintf("%s/%s/V=%d/meta=%s", op, format, v, onOff(meta))
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// Op is one benchmarkable loader pair: the same operation through the
+// v1 gob path and the v2 flat-CSR path.
+type Op struct {
+	Name string
+	Gob  func() error
+	CSR  func() error
+}
+
+// Ops enumerates the fixture's loading workloads as (name, gob-run,
+// csr-run) pairs so the emitter and the go-bench suite drive the exact
+// same calls.
+func (fx *Fixture) Ops() []Op {
+	return []Op{
+		{"Load",
+			func() error { _, err := fx.LoadGob(); return err },
+			func() error { _, err := fx.LoadCSR(); return err }},
+		{"FirstQuery",
+			func() error {
+				g, err := fx.LoadGob()
+				if err != nil {
+					return err
+				}
+				FirstQuery(g)
+				return nil
+			},
+			func() error {
+				g, err := fx.LoadCSR()
+				if err != nil {
+					return err
+				}
+				FirstQuery(g)
+				return nil
+			}},
+	}
+}

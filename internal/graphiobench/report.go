@@ -1,0 +1,284 @@
+package graphiobench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"subtrav/internal/graph"
+)
+
+// Result is one measured benchmark cell.
+type Result struct {
+	// Name follows the go-bench convention, e.g. "Load/csr/V=32768".
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Resident is the heap retained by one decoded graph, measured with
+// the graph live across a GC. For the v1 gob path this is the fully
+// materialized column set; for the v2 flat-CSR path the columns alias
+// the file buffer, so only the graph header and property maps count.
+type Resident struct {
+	GobBytes int64 `json:"gob_bytes"`
+	CSRBytes int64 `json:"csr_bytes"`
+	// FileBytes is the v2 snapshot size — what the CSR graph borrows
+	// (shareable, page-cache backed) instead of owning.
+	FileBytes int64 `json:"file_bytes"`
+}
+
+// Speedup compares the v1 gob path against the v2 flat-CSR path for
+// one (op, size) cell, both measured in the same process.
+type Speedup struct {
+	// NsRatio is gob ns/op divided by csr ns/op (>1 means the flat
+	// CSR loads faster).
+	NsRatio float64 `json:"ns_ratio"`
+	// AllocRatio is gob allocs/op divided by csr allocs/op. The csr
+	// denominator is floored at 1 alloc/op to keep the ratio finite,
+	// so the reported value is a lower bound.
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Report is the BENCH_graphio.json payload: environment metadata, the
+// per-cell results, the gob-vs-csr speedup matrix, and the resident-
+// heap comparison. It deliberately carries no timestamps or hostnames,
+// so regenerating it on the same machine produces a meaningful diff.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Smoke marks a -benchtime=1x-style run whose numbers only prove
+	// the suite executes; comparisons need a full run.
+	Smoke bool `json:"smoke"`
+
+	Results  []Result            `json:"results"`
+	Speedup  map[string]Speedup  `json:"speedup"`
+	Resident map[string]Resident `json:"resident"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measurement is the raw outcome of timing iters calls of a closure.
+type measurement struct {
+	iters  int
+	ns     float64
+	allocs float64
+	bytes  float64
+}
+
+// measure times iters executions of fn with alloc accounting, exactly
+// like the travbench emitter: explicit iteration policy, independent
+// of testing flags.
+func measure(iters int, fn func() error) (measurement, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return measurement{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return measurement{
+		iters:  iters,
+		ns:     float64(elapsed.Nanoseconds()) / n,
+		allocs: float64(m1.Mallocs-m0.Mallocs) / n,
+		bytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}, nil
+}
+
+// calibrate picks an iteration count targeting ~200ms of measured
+// work (1 in smoke mode).
+func calibrate(smoke bool, fn func() error) (int, error) {
+	if smoke {
+		if err := fn(); err != nil { // warm up so the measured op is honest
+			return 0, err
+		}
+		return 1, nil
+	}
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 20*time.Millisecond || iters >= 1<<16 {
+			perOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			target := int(200e6 / perOp)
+			if target < 5 {
+				target = 5
+			}
+			if target > 10000 {
+				target = 10000
+			}
+			return target, nil
+		}
+		iters *= 2
+	}
+}
+
+// liveBytes reports the heap retained by the value decode returns,
+// measured across a forced GC with the value still referenced.
+func liveBytes(decode func() (*graph.Graph, error)) (int64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	g, err := decode()
+	if err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	live := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	runtime.KeepAlive(g)
+	if live < 0 {
+		live = 0
+	}
+	return live, nil
+}
+
+// Run executes the loading suite across the size × op × format matrix
+// and assembles the report. smoke runs every cell once (CI); a full
+// run calibrates iteration counts for stable numbers.
+func Run(smoke bool, logf func(format string, args ...any)) (*Report, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     smoke,
+		Speedup:   make(map[string]Speedup),
+		Resident:  make(map[string]Resident),
+	}
+
+	for _, v := range Sizes {
+		for _, meta := range Metas {
+			if err := runSize(rep, v, meta, smoke, logf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runSize measures every cell of one (size, meta) fixture.
+func runSize(rep *Report, v int, meta, smoke bool, logf func(format string, args ...any)) error {
+	fx, err := NewFixture(v, meta)
+	if err != nil {
+		return err
+	}
+	for _, op := range fx.Ops() {
+		gob, err := runCell(rep, Cell(op.Name, "gob", v, meta), smoke, op.Gob)
+		if err != nil {
+			return err
+		}
+		csr, err := runCell(rep, Cell(op.Name, "csr", v, meta), smoke, op.CSR)
+		if err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%s/V=%d/meta=%s", op.Name, v, onOff(meta))
+		rep.Speedup[key] = Speedup{
+			NsRatio:    ratio(gob.NsPerOp, csr.NsPerOp),
+			AllocRatio: ratio(gob.AllocsPerOp, floorOne(csr.AllocsPerOp)),
+		}
+		logf("%-28s gob %.0f ns/op %.0f allocs/op | csr %.0f ns/op %.0f allocs/op (%.1fx ns, %.0fx allocs)",
+			key, gob.NsPerOp, gob.AllocsPerOp, csr.NsPerOp, csr.AllocsPerOp,
+			rep.Speedup[key].NsRatio, rep.Speedup[key].AllocRatio)
+	}
+	gobLive, err := liveBytes(fx.LoadGob)
+	if err != nil {
+		return err
+	}
+	csrLive, err := liveBytes(fx.LoadCSR)
+	if err != nil {
+		return err
+	}
+	resKey := fmt.Sprintf("V=%d/meta=%s", v, onOff(meta))
+	rep.Resident[resKey] = Resident{
+		GobBytes:  gobLive,
+		CSRBytes:  csrLive,
+		FileBytes: int64(len(fx.CSR)),
+	}
+	logf("%-28s gob %d B live | csr %d B live + %d B borrowed file",
+		resKey, gobLive, csrLive, len(fx.CSR))
+	return nil
+}
+
+// runCell measures one cell and appends it to the report.
+func runCell(rep *Report, name string, smoke bool, fn func() error) (Result, error) {
+	iters, err := calibrate(smoke, fn)
+	if err != nil {
+		return Result{}, fmt.Errorf("graphiobench: %s: %w", name, err)
+	}
+	m, err := measure(iters, fn)
+	if err != nil {
+		return Result{}, fmt.Errorf("graphiobench: %s: %w", name, err)
+	}
+	res := Result{
+		Name:        name,
+		Iters:       m.iters,
+		NsPerOp:     m.ns,
+		AllocsPerOp: m.allocs,
+		BytesPerOp:  m.bytes,
+	}
+	rep.Results = append(rep.Results, res)
+	return res, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// floorOne floors a measured allocs/op at 1, the denominator policy
+// documented on Speedup.AllocRatio.
+func floorOne(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// CheckThresholds validates the acceptance floor: the mid-size plain
+// Load cell must show at least minAllocs× fewer allocations on the v2
+// path than on the v1 gob path. The plain cell is the right gauge —
+// property maps must materialize per entity in both formats, so the
+// meta cells converge while the structural columns are where zero-copy
+// either holds or doesn't. Allocation counts are deterministic enough
+// to hold in smoke mode too. Used by the emitter's -check mode so
+// regressions fail loudly rather than silently landing in the tracked
+// artifact.
+func (r *Report) CheckThresholds(minAllocs float64) error {
+	key := fmt.Sprintf("Load/V=%d/meta=off", MidSize)
+	sp, ok := r.Speedup[key]
+	if !ok {
+		return fmt.Errorf("graphiobench: no %s cell in report", key)
+	}
+	if sp.AllocRatio < minAllocs {
+		return fmt.Errorf("graphiobench: %s alloc improvement %.0fx below the %.0fx floor",
+			key, sp.AllocRatio, minAllocs)
+	}
+	return nil
+}
