@@ -39,6 +39,7 @@ func main() {
 		timeScale = flag.Float64("timescale", 1e-3, "virtual-cost to wall-time scale for simulated I/O")
 
 		maxPending   = flag.Int("max-pending", 0, "admission bound on in-flight queries (0 = 2·units·queue-cap); excess is rejected with a retry-after hint")
+		tenantShare  = flag.Float64("tenant-share", 0, "per-tenant fraction of -max-pending a single tenant may hold in flight, in (0,1); 0 disables per-tenant caps")
 		deadline     = flag.Duration("deadline", 0, "default per-query deadline for queries without one (0 = none)")
 		schedTimeout = flag.Duration("sched-timeout", 0, "per-round scheduling budget; repeated overruns degrade to least-loaded placement (0 = disabled)")
 
@@ -84,6 +85,7 @@ func main() {
 		MemoryPerUnit:   *memMB << 20,
 		TimeScale:       *timeScale,
 		MaxPending:      *maxPending,
+		TenantShare:     *tenantShare,
 		DefaultDeadline: *deadline,
 		SchedTimeout:    *schedTimeout,
 		TraceBuffer:     *traceBuffer,

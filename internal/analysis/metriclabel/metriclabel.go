@@ -35,11 +35,13 @@ const obsPath = "subtrav/internal/obs"
 // registryMethods maps *obs.Registry method names to whether the
 // family is a counter (name must end in _total).
 var registryMethods = map[string]bool{
-	"Counter":     true,
-	"CounterFunc": true,
-	"Gauge":       false,
-	"GaugeFunc":   false,
-	"Histogram":   false,
+	"Counter":           true,
+	"CounterFunc":       true,
+	"Gauge":             false,
+	"GaugeFunc":         false,
+	"FloatGauge":        false,
+	"Histogram":         false,
+	"RegisterHistogram": false,
 }
 
 var (
@@ -47,9 +49,13 @@ var (
 	keyRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 	// unboundedRef matches identifiers/selectors that smell like
 	// per-query or per-task identity: queryID, q.QueryID, taskID,
-	// req.ID, qid... The unit index (u.id, bounded by the unit
-	// count) deliberately does not match.
-	unboundedRef = regexp.MustCompile(`(?i)(query|task|request|req)[a-zA-Z_]*id|\bqid\b`)
+	// req.ID, qid... Tenant and user identity (tenantName, userID)
+	// counts too: clients mint those freely, so a label fed straight
+	// from one grows the registry without bound — fold through a
+	// capped bucket table first (see live's tenantState). The unit
+	// index (u.id, bounded by the unit count) deliberately does not
+	// match.
+	unboundedRef = regexp.MustCompile(`(?i)(query|task|request|req)[a-zA-Z_]*id|\bqid\b|(?i)(tenant|user)[a-zA-Z_]*(id|name)\b`)
 )
 
 // reservedSuffixes collide with the histogram exposition series the

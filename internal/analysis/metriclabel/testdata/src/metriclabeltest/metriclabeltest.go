@@ -12,6 +12,7 @@ import (
 
 type worker struct {
 	queryID int64
+	userID  string
 }
 
 func wire(reg *obs.Registry, w *worker, units []int) {
@@ -59,10 +60,42 @@ func wire(reg *obs.Registry, w *worker, units []int) {
 	mode := modeName(len(units))
 	reg.Counter("subtrav_fixture_mode_total", "By mode.", obs.L("mode", mode))
 
+	// FloatGauge and RegisterHistogram are registry methods too: same
+	// name rules.
+	reg.FloatGauge("subtrav_fixture_ratio", "A ratio.")
+	reg.FloatGauge("subtrav_fixture_ratio_total", "Bad.") // want "non-counter .* must not end in _total"
+	reg.RegisterHistogram("subtrav_fixture_margin", "External digest.", obs.NewHistogram())
+	reg.RegisterHistogram("subtrav_fixture_margin_count", "Reserved.", obs.NewHistogram()) // want "reserves for histogram series"
+
+	// Flagged: tenant/user identity is client-minted, so a label fed
+	// straight from it is unbounded cardinality.
+	tenantName := requestTenant()
+	reg.Counter("subtrav_fixture_tenant_total", "Per tenant!",
+		obs.L("tenant", tenantName)) // want "label value derives from .*: one series per query/task"
+	reg.Gauge("subtrav_fixture_user_depth", "Per user!",
+		obs.L("user", w.userID)) // want "label value derives from .*: one series per query/task"
+
+	// Allowed: the tenant label fed from a bounded fold (capped bucket
+	// table) — the variable carries no identity smell because it is
+	// not the raw client-supplied name.
+	bucket := foldTenant(requestTenant())
+	reg.Counter("subtrav_fixture_tenant_ok_total", "Bounded per-tenant.",
+		obs.L("tenant", bucket))
+
 	// Allowed: documented suppression swallows a would-be finding (a
 	// debug registry deliberately keyed by query, bounded elsewhere).
 	//lint:allow metriclabel debug-only registry capped at 64 series by the harness
 	reg.Counter("subtrav_fixture_debug_total", "Debug.", obs.L("query", strconv.FormatInt(w.queryID, 10)))
+}
+
+func requestTenant() string { return "whatever-the-client-sent" }
+
+// foldTenant models the bounded tenant→bucket fold (32 + overflow).
+func foldTenant(s string) string {
+	if len(s) > 4 {
+		return "overflow"
+	}
+	return s
 }
 
 func modeName(n int) string {

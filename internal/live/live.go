@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,6 +62,14 @@ type Config struct {
 	// a *RejectedError carrying a retry-after hint instead of
 	// blocking — explicit backpressure. Default 2·NumUnits·QueueCap.
 	MaxPending int
+	// TenantShare, when in (0, 1), caps each tenant's share of
+	// MaxPending: a single tenant may hold at most
+	// ceil(TenantShare·MaxPending) in-flight queries (minimum 1), so
+	// one flooding tenant cannot consume the whole admission budget
+	// and starve the others. 0 (or >= 1) disables per-tenant caps;
+	// the global MaxPending bound always applies. Tenants beyond the
+	// per-runtime cardinality cap share one overflow quota bucket.
+	TenantShare float64
 	// DefaultDeadline, when positive, is applied to queries submitted
 	// with a context that has no deadline of its own. Zero disables.
 	DefaultDeadline time.Duration
@@ -114,6 +123,9 @@ func (c *Config) validate() error {
 	if c.MaxPending < 1 {
 		return fmt.Errorf("live: MaxPending = %d, want >= 1", c.MaxPending)
 	}
+	if c.TenantShare < 0 {
+		return fmt.Errorf("live: TenantShare = %g, want >= 0", c.TenantShare)
+	}
 	if c.DefaultDeadline < 0 {
 		return fmt.Errorf("live: DefaultDeadline = %v, want >= 0", c.DefaultDeadline)
 	}
@@ -160,6 +172,11 @@ type task struct {
 	submit  time.Time
 	started time.Time
 	done    chan Response
+	// tenant is the submitting tenant's name ("" when untenanted);
+	// tstate is its admission bucket, resolved once at admission so
+	// finish never re-hits the map.
+	tenant string
+	tstate *tenantState
 	// span is the task's trace span (nil when tracing is off). It is
 	// only ever written by the goroutine that currently owns the task
 	// — submitter, then dispatcher, then worker — with ownership
@@ -184,13 +201,23 @@ var ErrQueueFull = errors.New("live: queue full")
 // Config.MaxPending. The caller should back off and retry no sooner
 // than RetryAfter.
 type RejectedError struct {
-	// InFlight is the in-flight count observed at rejection.
+	// InFlight is the in-flight count observed at rejection (the
+	// tenant's own count when TenantLimited, the global count
+	// otherwise).
 	InFlight int
 	// RetryAfter is a load-proportional backoff hint.
 	RetryAfter time.Duration
+	// TenantLimited marks a rejection by the per-tenant share cap
+	// (Config.TenantShare) rather than the global MaxPending bound;
+	// Tenant names the capped bucket.
+	TenantLimited bool
+	Tenant        string
 }
 
 func (e *RejectedError) Error() string {
+	if e.TenantLimited {
+		return fmt.Sprintf("live: tenant %q over share (%d in flight), retry after %v", e.Tenant, e.InFlight, e.RetryAfter)
+	}
 	return fmt.Sprintf("live: queue full (%d in flight), retry after %v", e.InFlight, e.RetryAfter)
 }
 
@@ -223,6 +250,7 @@ type Runtime struct {
 	sched    sched.Scheduler
 	pending  []*task
 	inflight int
+	tenants  map[string]*tenantState
 	closed   bool
 	nextID   int64
 
@@ -323,6 +351,7 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 		cfg:      cfg,
 		sigs:     sigs,
 		sched:    scheduler,
+		tenants:  make(map[string]*tenantState),
 		fallback: sched.NewLeastLoaded(),
 		diskSlot: make(chan struct{}, maxInt(cfg.Cost.Disk.Channels, 1)),
 		wsPool:   traverse.NewPool(g.NumVertices()),
@@ -424,6 +453,17 @@ func (r *Runtime) Submit(q traverse.Query) (<-chan Response, error) {
 // If admission control refuses the query (see Config.MaxPending),
 // SubmitCtx returns a *RejectedError (errors.Is ErrQueueFull).
 func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Response, error) {
+	return r.SubmitTenantCtx(ctx, "", q)
+}
+
+// SubmitTenantCtx is SubmitCtx with the query attributed to a named
+// tenant: the tenant's lifecycle counters and in-flight gauge appear
+// on /metrics (label cardinality bounded — see TenantStatsSnapshot),
+// its trace spans carry the tenant name, and when Config.TenantShare
+// is set the tenant is additionally admission-capped at its share of
+// MaxPending (rejections then have TenantLimited set). The empty
+// tenant maps to the "default" bucket.
+func (r *Runtime) SubmitTenantCtx(ctx context.Context, tenant string, q traverse.Query) (<-chan Response, error) {
 	if ctx == nil {
 		// A nil ctx means the caller opted out of cancellation
 		// entirely (Submit's documented contract): there is no caller
@@ -449,23 +489,45 @@ func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Respo
 		return nil, ErrClosed
 	}
 	r.counters.Submitted.Add(1)
-	if r.inflight >= r.cfg.MaxPending {
+	ts := r.tenantState(tenant)
+	ts.submitted.Inc()
+	rejected := r.inflight >= r.cfg.MaxPending
+	tenantLimited := false
+	if !rejected && r.cfg.TenantShare > 0 && r.cfg.TenantShare < 1 {
+		limit := int(math.Ceil(r.cfg.TenantShare * float64(r.cfg.MaxPending)))
+		if limit < 1 {
+			limit = 1
+		}
+		if ts.inflight >= limit {
+			rejected = true
+			tenantLimited = true
+		}
+	}
+	if rejected {
 		inflight := r.inflight
-		retryAfter := r.cfg.BatchWindow * time.Duration(2+inflight/len(r.units))
+		if tenantLimited {
+			inflight = ts.inflight
+		}
+		retryAfter := r.cfg.BatchWindow * time.Duration(2+r.inflight/len(r.units))
 		r.mu.Unlock()
 		r.counters.Rejected.Add(1)
+		ts.rejected.Inc()
 		if cancel != nil {
 			cancel()
 		}
 		now := time.Now().UnixNano()
 		r.obs.ring.Append(obs.Span{
-			QueryID: -1, Op: q.Op.String(), Start: int32(q.Start),
+			QueryID: -1, Op: q.Op.String(), Tenant: tenant, Start: int32(q.Start),
 			SubmitNanos: now, EndNanos: now, Unit: -1,
 			Outcome: obs.OutcomeRejected,
 		})
-		return nil, &RejectedError{InFlight: inflight, RetryAfter: retryAfter}
+		return nil, &RejectedError{
+			InFlight: inflight, RetryAfter: retryAfter,
+			TenantLimited: tenantLimited, Tenant: ts.label,
+		}
 	}
 	r.inflight++
+	ts.inflight++
 	t := &task{
 		id:     r.nextID,
 		query:  q,
@@ -473,6 +535,8 @@ func (r *Runtime) SubmitCtx(ctx context.Context, q traverse.Query) (<-chan Respo
 		cancel: cancel,
 		submit: time.Now(),
 		done:   make(chan Response, 1),
+		tenant: tenant,
+		tstate: ts,
 	}
 	t.span = r.beginSpan(t)
 	r.nextID++
@@ -522,12 +586,21 @@ func (r *Runtime) finish(t *task, resp Response, o outcome) bool {
 	}
 	r.mu.Lock()
 	r.inflight--
+	if t.tstate != nil {
+		t.tstate.inflight--
+	}
 	r.mu.Unlock()
 	switch o {
 	case outcomeTimedOut:
 		r.counters.TimedOut.Add(1)
+		if t.tstate != nil {
+			t.tstate.timedOut.Inc()
+		}
 	default:
 		r.counters.Completed.Add(1)
+		if t.tstate != nil {
+			t.tstate.completed.Inc()
+		}
 		if resp.Err != nil {
 			r.counters.Failed.Add(1)
 		}
@@ -708,6 +781,34 @@ func (r *Runtime) schedule(scheduler sched.Scheduler, batch []*task) []int {
 	elapsed := time.Since(start) + fault.Delay
 	r.obs.schedNanos.Observe(elapsed.Nanoseconds())
 
+	// Post-placement load-imbalance factor: max/mean effective unit
+	// load (queue + busy + this round's placements). This is the
+	// balance half of the balance-affinity tradeoff; the affinity half
+	// (hit ratio, win margin) is tracked inside the scheduler.
+	loads := make([]int, len(r.units))
+	var maxLoad, sumLoad int
+	for i, u := range r.units {
+		loads[i] = u.QueueLen()
+		if u.Busy() {
+			loads[i]++
+		}
+	}
+	for _, p := range placement {
+		loads[p]++
+	}
+	for _, l := range loads {
+		sumLoad += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	imbalance := 1.0
+	if sumLoad > 0 {
+		imbalance = float64(maxLoad) * float64(len(loads)) / float64(sumLoad)
+	}
+	r.obs.imbalance.Set(imbalance)
+	r.obs.imbalanceMilli.Observe(int64(imbalance * 1000))
+
 	// Fill the schedule phase of each task's span (dispatcher owns the
 	// tasks until they are enqueued, so this is race-free).
 	now := start.UnixNano()
@@ -720,11 +821,13 @@ func (r *Runtime) schedule(scheduler sched.Scheduler, batch []*task) []int {
 		s.Unit = int32(placement[i])
 		s.QueueLen = r.units[placement[i]].QueueLen()
 		s.Degraded = degraded
+		s.Imbalance = imbalance
 		if explain != nil {
 			s.Affinity = explain[i].Affinity
 			s.AuctionRounds = explain[i].AuctionRounds
 			s.FellBack = explain[i].FellBack
 			s.EmptyRow = explain[i].EmptyRow
+			s.Preferred = explain[i].Preferred
 		}
 	}
 

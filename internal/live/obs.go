@@ -1,6 +1,7 @@
 package live
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
@@ -23,6 +24,38 @@ type runtimeObs struct {
 	schedNanos     *obs.Histogram
 	diskWaitNanos  *obs.Histogram
 	diskSlotsInUse *obs.Gauge
+
+	// Balance-affinity tradeoff telemetry: the load-imbalance factor
+	// (max/mean effective unit load, 1.0 = perfectly balanced, P =
+	// everything piled on one unit) as a live gauge plus a milli-unit
+	// distribution across rounds. The affinity side (hit ratio, win
+	// margin) is registered by the scheduler itself via Register.
+	imbalance      *obs.FloatGauge
+	imbalanceMilli *obs.Histogram
+}
+
+// maxTenantStates bounds the per-tenant series cardinality: the
+// runtime tracks at most this many distinct tenants; later arrivals
+// share one overflow bucket for both metrics and admission quotas, so
+// a hostile client minting tenant names cannot grow the registry (or
+// the accounting map) without bound.
+const maxTenantStates = 32
+
+// overflowTenantLabel is the shared bucket for tenants beyond the cap.
+const overflowTenantLabel = "overflow"
+
+// tenantState is one tenant's admission accounting and metric series.
+// inflight is guarded by Runtime.mu; the counters are atomic.
+type tenantState struct {
+	// label is the bounded metric label value: the tenant name,
+	// "default" for untenanted queries, or "overflow" past the cap.
+	label    string
+	inflight int
+
+	submitted *obs.Counter
+	completed *obs.Counter
+	rejected  *obs.Counter
+	timedOut  *obs.Counter
 }
 
 // unitCounters are one unit's cache counters, fed by cache.Sinks so a
@@ -70,7 +103,80 @@ func newRuntimeObs(r *Runtime, traceBuffer int) *runtimeObs {
 		"Wall time spent waiting for a free disk channel, nanoseconds.")
 	o.diskSlotsInUse = reg.Gauge("subtrav_disk_slots_in_use",
 		"Disk channels currently held by executing queries.")
+	o.imbalance = reg.FloatGauge("subtrav_sched_imbalance_factor",
+		"Load-imbalance factor of the latest scheduling round: max/mean effective unit load after placement (1.0 = perfectly balanced, NumUnits = fully piled).")
+	o.imbalanceMilli = reg.Histogram("subtrav_sched_imbalance_milli",
+		"Distribution of per-round load-imbalance factors, in thousandths (1000 = perfectly balanced).")
 	return o
+}
+
+// tenantState returns (creating on first sight) the accounting bucket
+// for a tenant. Caller must hold r.mu. At most maxTenantStates
+// distinct tenants get their own bucket; the rest share overflow.
+func (r *Runtime) tenantState(tenant string) *tenantState {
+	key := tenant
+	if key == "" {
+		key = "default"
+	}
+	if ts, ok := r.tenants[key]; ok {
+		return ts
+	}
+	if len(r.tenants) >= maxTenantStates {
+		if ts, ok := r.tenants[overflowTenantLabel]; ok {
+			return ts
+		}
+		key = overflowTenantLabel
+	}
+	ts := &tenantState{label: key}
+	label := obs.L("tenant", ts.label)
+	ts.submitted = r.obs.reg.Counter("subtrav_tenant_submitted_total",
+		"Queries presented for admission per tenant.", label)
+	ts.completed = r.obs.reg.Counter("subtrav_tenant_completed_total",
+		"Completed queries per tenant.", label)
+	ts.rejected = r.obs.reg.Counter("subtrav_tenant_rejected_total",
+		"Queries refused at admission per tenant (global or per-tenant backpressure).", label)
+	ts.timedOut = r.obs.reg.Counter("subtrav_tenant_timed_out_total",
+		"Queries dropped on deadline expiry per tenant.", label)
+	r.obs.reg.GaugeFunc("subtrav_tenant_inflight",
+		"Admitted-but-unresolved queries per tenant.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(ts.inflight)
+		}, label)
+	r.tenants[key] = ts
+	return ts
+}
+
+// TenantStats is one tenant's lifecycle accounting snapshot.
+type TenantStats struct {
+	Tenant    string
+	InFlight  int
+	Submitted int64
+	Completed int64
+	Rejected  int64
+	TimedOut  int64
+}
+
+// TenantStatsSnapshot returns per-tenant accounting, sorted by tenant
+// label. Tenants beyond the cardinality cap appear as one "overflow"
+// row.
+func (r *Runtime) TenantStatsSnapshot() []TenantStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TenantStats, 0, len(r.tenants))
+	for _, ts := range r.tenants {
+		out = append(out, TenantStats{
+			Tenant:    ts.label,
+			InFlight:  ts.inflight,
+			Submitted: ts.submitted.Value(),
+			Completed: ts.completed.Value(),
+			Rejected:  ts.rejected.Value(),
+			TimedOut:  ts.timedOut.Value(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // wireUnit registers one unit's per-unit series and returns the cache
@@ -97,6 +203,16 @@ func (o *runtimeObs) wireUnit(u *liveUnit) cache.Sinks {
 			u.mu.Lock()
 			defer u.mu.Unlock()
 			return int64(len(u.completions))
+		}, label)
+	o.reg.GaugeFunc("subtrav_unit_cache_hit_ratio",
+		"Lifetime buffer hit ratio per processing unit (0 when idle).",
+		func() float64 {
+			hits := c.hits.Value()
+			total := hits + c.misses.Value()
+			if total == 0 {
+				return 0
+			}
+			return float64(hits) / float64(total)
 		}, label)
 	return cache.Sinks{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, BytesLoaded: c.bytes}
 }
@@ -128,6 +244,7 @@ func (r *Runtime) beginSpan(t *task) *obs.Span {
 	return &obs.Span{
 		QueryID:     t.id,
 		Op:          t.query.Op.String(),
+		Tenant:      t.tenant,
 		Start:       int32(t.query.Start),
 		SubmitNanos: t.submit.UnixNano(),
 		Unit:        -1,

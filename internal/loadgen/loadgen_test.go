@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:          42,
+		DurationNanos: 10_000_000_000, // 10s virtual
+		QPS:           200,
+		NumKeys:       1000,
+		ZipfS:         1.1,
+		TimeoutNanos:  250_000_000,
+		Tenants: []TenantProfile{
+			{Name: "gold", Weight: 3},
+			{Name: "bronze", Weight: 1},
+		},
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := baseConfig()
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same config produced different plans")
+	}
+	cfg.Seed = 43
+	c, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanRateTracksTarget(t *testing.T) {
+	t.Parallel()
+	for _, shape := range []string{ShapeConstant, ShapeBurst, ShapeDiurnal} {
+		cfg := baseConfig()
+		cfg.Shape = shape
+		plan, err := BuildPlan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.QPS * float64(cfg.DurationNanos) / 1e9
+		got := float64(len(plan.Events))
+		if math.Abs(got-want) > 0.15*want {
+			t.Errorf("%s: %g events, want %g +- 15%%", shape, got, want)
+		}
+		last := int64(-1)
+		for _, ev := range plan.Events {
+			if ev.ArrivalNanos < last {
+				t.Fatalf("%s: arrivals not monotone", shape)
+			}
+			last = ev.ArrivalNanos
+			if ev.ArrivalNanos >= cfg.DurationNanos {
+				t.Fatalf("%s: arrival %d beyond duration", shape, ev.ArrivalNanos)
+			}
+			if ev.TimeoutNanos != cfg.TimeoutNanos {
+				t.Fatalf("%s: event timeout %d", shape, ev.TimeoutNanos)
+			}
+		}
+	}
+}
+
+func TestBurstShapeConcentratesArrivals(t *testing.T) {
+	t.Parallel()
+	cfg := baseConfig()
+	cfg.Shape = ShapeBurst
+	cfg.BurstFactor = 8
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := plan.Config.BurstEveryNanos // defaults applied by BuildPlan
+	burstLen := plan.Config.BurstLenNanos
+	var inBurst int
+	for _, ev := range plan.Events {
+		if ev.ArrivalNanos%every < burstLen {
+			inBurst++
+		}
+	}
+	// Burst windows are 10% of the time but at 8x the base rate they
+	// should carry ~47% of arrivals; uniform would carry ~10%.
+	if frac := float64(inBurst) / float64(len(plan.Events)); frac < 0.3 {
+		t.Errorf("burst windows carry %.0f%% of arrivals, want heavy concentration", frac*100)
+	}
+}
+
+func TestZipfSkewsKeys(t *testing.T) {
+	t.Parallel()
+	cfg := baseConfig()
+	cfg.ZipfS = 1.2
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int32]int)
+	for _, ev := range plan.Events {
+		counts[ev.Start]++
+	}
+	uniform := float64(len(plan.Events)) / float64(cfg.NumKeys)
+	if float64(counts[0]) < 10*uniform {
+		t.Errorf("hottest key drew %d of %d, want clear Zipf skew (uniform share %.1f)",
+			counts[0], len(plan.Events), uniform)
+	}
+}
+
+func TestTenantWeightsRespected(t *testing.T) {
+	t.Parallel()
+	plan, err := BuildPlan(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTenant := make(map[string]int)
+	for _, ev := range plan.Events {
+		byTenant[ev.Tenant]++
+	}
+	ratio := float64(byTenant["gold"]) / float64(byTenant["bronze"])
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("gold/bronze ratio = %.2f, want ~3", ratio)
+	}
+	if got, want := plan.TenantNames(), []string{"bronze", "gold"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("TenantNames = %v, want %v", got, want)
+	}
+}
+
+func TestSSSPEventsCarryTargets(t *testing.T) {
+	t.Parallel()
+	cfg := baseConfig()
+	cfg.Mix = OpMix{SSSP: 1}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range plan.Events {
+		if ev.Op != OpSSSP {
+			t.Fatalf("op = %q with SSSP-only mix", ev.Op)
+		}
+		if ev.Target < 0 || ev.Target >= cfg.NumKeys {
+			t.Fatalf("target %d out of key space", ev.Target)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	for name, mutate := range map[string]func(*Config){
+		"zero-duration":  func(c *Config) { c.DurationNanos = 0 },
+		"zero-qps":       func(c *Config) { c.QPS = 0 },
+		"zero-keys":      func(c *Config) { c.NumKeys = 0 },
+		"bad-shape":      func(c *Config) { c.Shape = "square" },
+		"bad-burst":      func(c *Config) { c.Shape = ShapeBurst; c.BurstFactor = 0.5 },
+		"bad-amp":        func(c *Config) { c.Shape = ShapeDiurnal; c.DiurnalAmp = 1.5 },
+		"bad-mix":        func(c *Config) { c.Mix = OpMix{BFS: -1, SSSP: 1} },
+		"unnamed-tenant": func(c *Config) { c.Tenants = []TenantProfile{{Weight: 1}} },
+		"zero-weights":   func(c *Config) { c.Tenants = []TenantProfile{{Name: "a", Weight: 0}} },
+	} {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := BuildPlan(cfg); err == nil {
+			t.Errorf("%s: BuildPlan accepted invalid config", name)
+		}
+	}
+}
+
+func TestSimulateByteReproducible(t *testing.T) {
+	t.Parallel()
+	cfg := baseConfig()
+	cfg.Shape = ShapeBurst
+	_, repA, err := Simulate(cfg, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, err := Simulate(cfg, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := repA.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repB.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same config produced different report bytes")
+	}
+	if len(a) == 0 || a[len(a)-1] != '\n' {
+		t.Fatal("report is not newline-terminated JSON")
+	}
+}
+
+func TestSimulateShowsOverloadKnee(t *testing.T) {
+	t.Parallel()
+	run := func(qps float64) *Report {
+		cfg := baseConfig()
+		cfg.QPS = qps
+		_, rep, err := Simulate(cfg, SimConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	light := run(100)
+	heavy := run(5000)
+
+	// Below the knee: goodput tracks offered load, errors are rare.
+	if light.GoodputQPS < 0.9*light.OfferedQPS {
+		t.Errorf("light load: goodput %.1f vs offered %.1f, want ~equal", light.GoodputQPS, light.OfferedQPS)
+	}
+	// Past the knee: offered load keeps climbing, goodput flattens and
+	// the excess surfaces as rejections/timeouts — the open-loop
+	// signature a closed-loop driver would hide.
+	if heavy.GoodputQPS > 0.6*heavy.OfferedQPS {
+		t.Errorf("heavy load: goodput %.1f vs offered %.1f, want a visible gap", heavy.GoodputQPS, heavy.OfferedQPS)
+	}
+	if heavy.Rejected+heavy.Timeout == 0 {
+		t.Error("heavy load produced no rejections or timeouts")
+	}
+	if heavy.LatencyP99Nanos < light.LatencyP99Nanos {
+		t.Errorf("p99 fell under overload: %.0f < %.0f", heavy.LatencyP99Nanos, light.LatencyP99Nanos)
+	}
+	if light.LatencyP999Nanos < light.LatencyP99Nanos || light.LatencyP99Nanos < light.LatencyP50Nanos {
+		t.Errorf("quantiles not monotone: p50=%.0f p99=%.0f p999=%.0f",
+			light.LatencyP50Nanos, light.LatencyP99Nanos, light.LatencyP999Nanos)
+	}
+	// Conservation: every offered event resolves exactly once.
+	for _, rep := range []*Report{light, heavy} {
+		if rep.OK+rep.Failed+rep.Rejected+rep.Timeout+rep.Transport != rep.Offered {
+			t.Errorf("outcome partition broken: %+v", rep)
+		}
+	}
+}
+
+func TestBuildReportValidation(t *testing.T) {
+	t.Parallel()
+	plan, err := BuildPlan(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildReport(plan, []Outcome{{Index: 0, Code: CodeOK}, {Index: 0, Code: CodeOK}}); err == nil {
+		t.Error("duplicate outcome accepted")
+	}
+	if _, err := BuildReport(plan, []Outcome{{Index: len(plan.Events), Code: CodeOK}}); err == nil {
+		t.Error("out-of-range outcome accepted")
+	}
+	if _, err := BuildReport(plan, []Outcome{{Index: 0, Code: "weird"}}); err == nil {
+		t.Error("unknown code accepted")
+	}
+	// Missing outcomes count as transport failures, keeping the
+	// partition exact.
+	rep, err := BuildReport(plan, []Outcome{{Index: 0, Code: CodeOK, LatencyNanos: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 1 || rep.Transport != rep.Offered-1 {
+		t.Errorf("sparse outcomes: ok=%d transport=%d offered=%d", rep.OK, rep.Transport, rep.Offered)
+	}
+}
+
+func TestFairnessIndex(t *testing.T) {
+	t.Parallel()
+	even := []TenantReport{
+		{Tenant: "a", Weight: 1, GoodputQPS: 50},
+		{Tenant: "b", Weight: 1, GoodputQPS: 50},
+	}
+	if j := weightedJain(even); math.Abs(j-1) > 1e-9 {
+		t.Errorf("even split Jain = %g, want 1", j)
+	}
+	starved := []TenantReport{
+		{Tenant: "a", Weight: 1, GoodputQPS: 100},
+		{Tenant: "b", Weight: 1, GoodputQPS: 0},
+	}
+	if j := weightedJain(starved); math.Abs(j-0.5) > 1e-9 {
+		t.Errorf("starved Jain = %g, want 0.5", j)
+	}
+	// Weighted: gold getting 3x bronze at weight 3:1 is perfectly fair.
+	weighted := []TenantReport{
+		{Tenant: "gold", Weight: 3, GoodputQPS: 150},
+		{Tenant: "bronze", Weight: 1, GoodputQPS: 50},
+	}
+	if j := weightedJain(weighted); math.Abs(j-1) > 1e-9 {
+		t.Errorf("weight-proportional Jain = %g, want 1", j)
+	}
+	if j := weightedJain(nil); j != 1 {
+		t.Errorf("empty Jain = %g, want 1", j)
+	}
+}

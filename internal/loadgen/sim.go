@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"container/heap"
+	"fmt"
+
+	"subtrav/internal/xrand"
+)
+
+// SimConfig parameterizes the virtual-time executor.
+type SimConfig struct {
+	// Units is the modeled processing-unit count (default 4).
+	Units int
+	// MaxPending is the modeled admission bound (default 64).
+	MaxPending int
+	// MaxAttempts bounds admission retries per event, mirroring the
+	// client's DoRetry (default 3).
+	MaxAttempts int
+	// RetryBackoffNanos is the base backoff between admission attempts;
+	// attempt k waits k·RetryBackoffNanos (default 5ms).
+	RetryBackoffNanos int64
+	// BaseServiceNanos scales the per-op service-time draw (default
+	// 2ms).
+	BaseServiceNanos int64
+}
+
+func (s *SimConfig) validate() error {
+	if s.Units == 0 {
+		s.Units = 4
+	}
+	if s.MaxPending == 0 {
+		s.MaxPending = 64
+	}
+	if s.MaxAttempts == 0 {
+		s.MaxAttempts = 3
+	}
+	if s.RetryBackoffNanos == 0 {
+		s.RetryBackoffNanos = 5_000_000
+	}
+	if s.BaseServiceNanos == 0 {
+		s.BaseServiceNanos = 2_000_000
+	}
+	if s.Units < 1 || s.MaxPending < 1 || s.MaxAttempts < 1 ||
+		s.RetryBackoffNanos < 1 || s.BaseServiceNanos < 1 {
+		return fmt.Errorf("loadgen: invalid sim config %+v", *s)
+	}
+	return nil
+}
+
+// opServiceWeight scales service cost by op: random walks and collab
+// filtering cost more than a bounded BFS.
+func opServiceWeight(op string) float64 {
+	switch op {
+	case OpSSSP:
+		return 1.5
+	case OpCollab:
+		return 1.25
+	case OpRWR:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// int64Heap is a min-heap of in-flight finish times.
+type int64Heap []int64
+
+func (h int64Heap) Len() int            { return len(h) }
+func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate drives a plan through a virtual-time queueing model of the
+// service — least-loaded placement over Units servers, an admission
+// bound of MaxPending with client-style bounded retries, deadline
+// cancellation — and aggregates the outcomes into a Report. The model
+// is fully deterministic: the same (Config, SimConfig) pair always
+// produces a byte-identical report, which makes it the reproducible
+// half of the load harness (the wall-clock driver in cmd/subtrav-load
+// measures the real service but cannot promise identical bytes).
+//
+// The model reproduces the open-loop overload signature: below
+// saturation goodput tracks offered load; past it, queues exceed the
+// admission bound, rejections and timeouts absorb the excess, and
+// goodput flattens at the service capacity.
+func Simulate(cfg Config, sim SimConfig) (*Plan, *Report, error) {
+	if err := sim.validate(); err != nil {
+		return nil, nil, err
+	}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	nextFree := make([]int64, sim.Units)
+	inflight := &int64Heap{}
+	outcomes := make([]Outcome, 0, len(plan.Events))
+	svcRNG := xrand.New(0) // reseeded per event below
+
+	for _, ev := range plan.Events {
+		svcRNG.Reseed(ev.Seed)
+		svc := int64(float64(sim.BaseServiceNanos) * opServiceWeight(ev.Op) * (0.5 + svcRNG.ExpFloat64()))
+		if svc < 1 {
+			svc = 1
+		}
+
+		o := Outcome{Index: ev.Index, Code: CodeRejected}
+		t := ev.ArrivalNanos
+		for attempt := 0; attempt < sim.MaxAttempts; attempt++ {
+			if attempt > 0 {
+				t += int64(attempt) * sim.RetryBackoffNanos
+				o.Retries++
+			}
+			// Drain completions up to the (possibly backed-off) attempt
+			// time.
+			for inflight.Len() > 0 && (*inflight)[0] <= t {
+				heap.Pop(inflight)
+			}
+			if inflight.Len() >= sim.MaxPending {
+				continue // rejected this attempt
+			}
+			// Admitted: place on the least-loaded unit.
+			u := 0
+			for i := 1; i < len(nextFree); i++ {
+				if nextFree[i] < nextFree[u] {
+					u = i
+				}
+			}
+			start := t
+			if nextFree[u] > start {
+				start = nextFree[u]
+			}
+			finish := start + svc
+			busyUntil := finish
+			if ev.TimeoutNanos > 0 && finish-t > ev.TimeoutNanos {
+				// Deadline expires first: the traversal is cancelled and
+				// the unit freed at the deadline (or at its start if the
+				// deadline passed while queued).
+				cancelAt := t + ev.TimeoutNanos
+				if cancelAt < start {
+					cancelAt = start
+				}
+				busyUntil = cancelAt
+				o.Code = CodeTimeout
+				o.LatencyNanos = ev.TimeoutNanos
+			} else {
+				o.Code = CodeOK
+				o.LatencyNanos = finish - ev.ArrivalNanos
+			}
+			nextFree[u] = busyUntil
+			heap.Push(inflight, busyUntil)
+			break
+		}
+		outcomes = append(outcomes, o)
+	}
+
+	rep, err := BuildReport(plan, outcomes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, rep, nil
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -128,6 +129,61 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return bucketMid(histNumBuckets - 1)
+}
+
+// Quantiles estimates several quantiles at once: the buckets are
+// loaded once and a single cumulative walk answers every requested
+// quantile, instead of one full scan per Quantile call — the report
+// path computes p50/p99/p999 in one pass. Each answer carries the
+// same QuantileMaxRelativeError bound as Quantile, and the two agree
+// exactly on the same loaded view. Out-of-range qs clamp to [0, 1];
+// an empty histogram yields all zeros.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	var counts [histNumBuckets]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return out
+	}
+	// Rank each quantile, then visit the ranks in ascending order so
+	// one cumulative walk resolves all of them.
+	ranks := make([]int64, len(qs))
+	order := make([]int, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		r := int64(math.Ceil(q * float64(total)))
+		if r < 1 {
+			r = 1
+		}
+		ranks[i] = r
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	k := 0
+	var cum int64
+	for i := 0; i < histNumBuckets && k < len(order); i++ {
+		cum += counts[i]
+		for k < len(order) && cum >= ranks[order[k]] {
+			out[order[k]] = bucketMid(i)
+			k++
+		}
+	}
+	for ; k < len(order); k++ {
+		out[order[k]] = bucketMid(histNumBuckets - 1)
+	}
+	return out
 }
 
 // Bucket is one non-empty histogram bucket in a Snapshot.

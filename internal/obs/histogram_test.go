@@ -165,3 +165,77 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestHistogramQuantilesMatchQuantile pins the batch accessor to the
+// single-quantile path: on a quiescent histogram the two must agree
+// exactly, including unsorted and out-of-range inputs.
+func TestHistogramQuantilesMatchQuantile(t *testing.T) {
+	h := NewHistogram()
+	rng := xrand.New(11)
+	for i := 0; i < 5000; i++ {
+		h.Observe(int64(math.Pow(10, 1+6*rng.Float64())))
+	}
+	qs := []float64{0.999, 0.5, 0.99, -0.5, 1.5, 0, 1, 0.25}
+	got := h.Quantiles(qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("Quantiles returned %d values for %d inputs", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := h.Quantile(q); got[i] != want {
+			t.Errorf("Quantiles()[%d] (q=%g) = %g, want Quantile = %g", i, q, got[i], want)
+		}
+	}
+	if out := h.Quantiles(); len(out) != 0 {
+		t.Errorf("Quantiles() with no args = %v, want empty", out)
+	}
+	var empty Histogram
+	for i, v := range empty.Quantiles(0.5, 0.999) {
+		if v != 0 {
+			t.Errorf("empty histogram Quantiles[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+// TestHistogramQuantilesTailErrorBound is the documented ≈9% bound
+// checked where the load reports read it: the extreme tail. Heavy
+// right-tailed samples (the shape of latency under overload) are
+// compared at p99 and p999 against the exact nearest-rank quantile.
+func TestHistogramQuantilesTailErrorBound(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 25; trial++ {
+		h := NewHistogram()
+		n := 4000 + rng.Intn(4000)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Log-normal-ish body with a Pareto-ish tail: most mass
+			// near 10^4, occasional excursions out to 10^9.
+			v := int64(math.Pow(10, 3.5+rng.NormFloat64()))
+			if rng.Float64() < 0.01 {
+				v = int64(math.Pow(10, 6+3*rng.Float64()))
+			}
+			if v < 1 {
+				v = 1
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		got := h.Quantiles(0.99, 0.999)
+		for k, q := range []float64{0.99, 0.999} {
+			exact := float64(metrics.QuantileSorted(sorted, q))
+			relErr := math.Abs(got[k]-exact) / exact
+			if relErr > QuantileMaxRelativeError*1.0001 {
+				// Rank straddling a bucket edge may pick the adjacent
+				// bucket; allow one bucket of slack there (same rule
+				// as TestHistogramQuantileRelativeError).
+				slack := math.Pow(2, 3.0/(2*histSubBuckets)) - 1
+				if relErr > slack {
+					t.Errorf("trial %d q=%g: got %g, exact %g, rel err %.4f > bound %.4f",
+						trial, q, got[k], exact, relErr, QuantileMaxRelativeError)
+				}
+			}
+		}
+	}
+}

@@ -59,6 +59,19 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an atomic instantaneous float64 value, for ratios and
+// factors that do not fit the integer Gauge (load-imbalance factor,
+// affinity hit ratio). Set/Value are single atomic word operations.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // metricKind discriminates exposition TYPE lines.
 type metricKind uint8
 
@@ -178,12 +191,29 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	f.addSeries(&series{labels: labels, collect: fn})
 }
 
+// FloatGauge registers a float-valued gauge series.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	g := &FloatGauge{}
+	f := r.getFamily(name, help, kindGauge)
+	f.addSeries(&series{labels: labels, collect: g.Value})
+	return g
+}
+
 // Histogram registers a log-bucketed histogram series.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	h := NewHistogram()
 	f := r.getFamily(name, help, kindHistogram)
 	f.addSeries(&series{labels: labels, hist: h})
 	return h
+}
+
+// RegisterHistogram exposes a histogram that already lives elsewhere
+// (e.g. a scheduler-owned digest fed before any registry is wired)
+// without double accounting. The registry takes no ownership; the
+// caller keeps observing into h.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	f := r.getFamily(name, help, kindHistogram)
+	f.addSeries(&series{labels: labels, hist: h})
 }
 
 // WritePrometheus renders every registered family in the Prometheus

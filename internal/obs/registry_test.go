@@ -161,3 +161,32 @@ func TestFormatValue(t *testing.T) {
 		}
 	}
 }
+
+func TestFloatGaugeAndRegisterHistogram(t *testing.T) {
+	reg := NewRegistry()
+	fg := reg.FloatGauge("test_imbalance_factor", "Imbalance.", L("kind", "round"))
+	fg.Set(1.25)
+	if fg.Value() != 1.25 {
+		t.Errorf("FloatGauge.Value = %g, want 1.25", fg.Value())
+	}
+	h := NewHistogram()
+	h.Observe(3)
+	reg.RegisterHistogram("test_margin", "Externally owned digest.", h)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_imbalance_factor gauge",
+		`test_imbalance_factor{kind="round"} 1.25`,
+		"# TYPE test_margin histogram",
+		"test_margin_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -94,3 +94,73 @@ func TestRingConcurrent(t *testing.T) {
 		t.Errorf("after %d appends Last(16) returned %d spans", writers*perWriter, len(got))
 	}
 }
+
+// TestRingWraparoundConcurrentWriters hammers a tiny ring with many
+// writers at load-harness rates so slots wrap constantly, and checks
+// that no torn span is ever observable: every field of a returned
+// span must be mutually consistent with the single Append that wrote
+// it. Run under -race this also proves the slot protocol itself.
+func TestRingWraparoundConcurrentWriters(t *testing.T) {
+	t.Parallel()
+	r := NewRing(4) // tiny: every writer laps continuously
+	const writers = 8
+	const perWriter = 20000
+	mk := func(w, i int) Span {
+		id := int64(w*perWriter + i)
+		return Span{
+			QueryID:   id,
+			Unit:      int32(w),
+			WaitNanos: id * 3,
+			ExecNanos: id * 7,
+			Tenant:    "t",
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(mk(w, i))
+			}
+		}(w)
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Last(4) {
+				w := int(s.QueryID) / perWriter
+				i := int(s.QueryID) % perWriter
+				if w < 0 || w >= writers || mk(w, i) != s {
+					t.Errorf("torn span under wraparound: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4 after wrap", r.Len())
+	}
+	got := r.Last(4)
+	if len(got) != 4 {
+		t.Fatalf("Last(4) returned %d spans after quiescence", len(got))
+	}
+	for _, s := range got {
+		w := int(s.QueryID) / perWriter
+		i := int(s.QueryID) % perWriter
+		if mk(w, i) != s {
+			t.Errorf("quiescent span inconsistent: %+v", s)
+		}
+	}
+}

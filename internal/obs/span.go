@@ -29,6 +29,8 @@ type Span struct {
 	QueryID int64
 	// Op names the traversal operation ("bfs", "sssp", ...).
 	Op string
+	// Tenant names the submitting tenant ("" for untenanted queries).
+	Tenant string
 	// Start is the traversal's anchor vertex.
 	Start int32
 
@@ -53,7 +55,14 @@ type Span struct {
 	// degraded round; FellBack marks a task that lost its auction and
 	// followed its best-affinity unit; EmptyRow marks a task with no
 	// affinity row, placed least-loaded.
+	// Imbalance is the round's load-imbalance factor (max/mean
+	// effective unit load) right after this task's placement, and
+	// Preferred reports whether the task landed on its
+	// highest-affinity unit — together they locate the decision on
+	// the balance-affinity curve.
 	Affinity      float64
+	Imbalance     float64
+	Preferred     bool
 	QueueLen      int
 	AuctionRounds int
 	Degraded      bool
@@ -78,16 +87,16 @@ type Span struct {
 // leading columns (event-free task/unit/time triple) line up with the
 // simulator's CSVTracer schema so live and sim traces can be joined
 // on task and unit.
-const SpanCSVHeader = "task,unit,op,start,submit_ns,schedule_ns,start_ns,end_ns," +
-	"affinity,queue_len,auction_rounds,degraded,fell_back,empty_row," +
+const SpanCSVHeader = "task,unit,op,tenant,start,submit_ns,schedule_ns,start_ns,end_ns," +
+	"affinity,imbalance,preferred,queue_len,auction_rounds,degraded,fell_back,empty_row," +
 	"cache_hits,cache_misses,bytes_read,disk_wait_ns,wait_ns,exec_ns,outcome,err"
 
 // CSVRow renders the span as one CSV line matching SpanCSVHeader.
 func (s Span) CSVRow() string {
-	return fmt.Sprintf("%d,%d,%s,%d,%d,%d,%d,%d,%g,%d,%d,%t,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s",
-		s.QueryID, s.Unit, s.Op, s.Start,
+	return fmt.Sprintf("%d,%d,%s,%s,%d,%d,%d,%d,%d,%g,%g,%t,%d,%d,%t,%t,%t,%d,%d,%d,%d,%d,%d,%s,%s",
+		s.QueryID, s.Unit, s.Op, csvEscape(s.Tenant), s.Start,
 		s.SubmitNanos, s.ScheduleNanos, s.StartNanos, s.EndNanos,
-		s.Affinity, s.QueueLen, s.AuctionRounds, s.Degraded, s.FellBack, s.EmptyRow,
+		s.Affinity, s.Imbalance, s.Preferred, s.QueueLen, s.AuctionRounds, s.Degraded, s.FellBack, s.EmptyRow,
 		s.CacheHits, s.CacheMisses, s.BytesRead, s.DiskWaitNanos,
 		s.WaitNanos, s.ExecNanos, s.Outcome, csvEscape(s.Err))
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"subtrav/internal/affinity"
@@ -58,6 +59,17 @@ type Auction struct {
 	emptyRowTasks atomic.Int64
 	bidRounds     atomic.Int64
 	bids          atomic.Int64
+
+	// Balance-affinity tradeoff telemetry: affinityEligible counts
+	// tasks that had at least one affinitive unit, affinityHits the
+	// subset placed on their highest-benefit unit — the affinity hit
+	// ratio is hits/eligible. winMargin digests how decisively each
+	// auction winner beat its runner-up arc (micro-benefit units); a
+	// collapsing margin under load means the auction is trading
+	// affinity away for balance.
+	affinityEligible atomic.Int64
+	affinityHits     atomic.Int64
+	winMargin        *obs.Histogram
 }
 
 // NewAuction builds the SCH scheduler.
@@ -81,7 +93,7 @@ func NewAuction(scorer *affinity.Scorer, cfg AuctionConfig) (*Auction, error) {
 	if !cfg.WorkloadAware {
 		name = "affinity-only"
 	}
-	return &Auction{scorer: scorer, auctioneer: auc, cfg: cfg, name: name}, nil
+	return &Auction{scorer: scorer, auctioneer: auc, cfg: cfg, name: name, winMargin: obs.NewHistogram()}, nil
 }
 
 // Name implements Scheduler.
@@ -101,6 +113,16 @@ type Explain struct {
 	FellBack bool
 	// EmptyRow marks a task with no affinity row, placed least-loaded.
 	EmptyRow bool
+	// Preferred marks a task placed on its highest-benefit unit (the
+	// affinity "hit" of the hit-ratio telemetry). Always false for
+	// tasks with no affinity row.
+	Preferred bool
+	// WinMargin is how far the chosen arc's benefit exceeded the
+	// task's best alternative arc, for tasks the auction placed with
+	// at least two arcs to choose from; 0 otherwise. Negative margins
+	// (the auction preferring a cheaper unit because of prices) are
+	// reported as observed.
+	WinMargin float64
 }
 
 // Explainer is a Scheduler that can report per-task placement detail.
@@ -193,6 +215,25 @@ func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, o
 		switch {
 		case unit >= 0:
 			a.auctioned.Add(1)
+			// Win margin: how decisively the chosen arc beat the
+			// task's best alternative, on the same benefits the
+			// auction compared.
+			if arcs := problem.Rows[i]; len(arcs) >= 2 {
+				var chosen, bestOther float64
+				bestOther = math.Inf(-1)
+				for _, e := range arcs {
+					if e.Col == unit {
+						chosen = e.Benefit
+					} else if e.Benefit > bestOther {
+						bestOther = e.Benefit
+					}
+				}
+				margin := chosen - bestOther
+				expl[i].WinMargin = margin
+				// Digest in micro-benefit units; the histogram clamps
+				// negative observations to zero.
+				a.winMargin.Observe(int64(margin * 1e6))
+			}
 		case len(matrix.Rows[i]) > 0:
 			// The auction assigns at most one task per unit per
 			// segment; a task that lost its unit to a same-affinity
@@ -224,6 +265,23 @@ func (a *Auction) assignSegment(tasks []*Task, units []UnitState, extra []int, o
 			if e.Unit == unit {
 				expl[i].Affinity = e.Benefit
 				break
+			}
+		}
+		// Affinity hit accounting: a task with any affinitive unit
+		// either landed on its highest-benefit arc (a hit) or was
+		// traded away for balance. Judged on problem.Rows so the
+		// ablation's un-weighted benefits are compared consistently.
+		if arcs := problem.Rows[i]; len(arcs) > 0 {
+			a.affinityEligible.Add(1)
+			best := arcs[0]
+			for _, e := range arcs[1:] {
+				if e.Benefit > best.Benefit {
+					best = e
+				}
+			}
+			if unit == best.Col {
+				a.affinityHits.Add(1)
+				expl[i].Preferred = true
 			}
 		}
 		out[i] = unit
@@ -286,6 +344,28 @@ func (a *Auction) Register(reg *obs.Registry) {
 		"Bidding rounds executed across all auctions.", a.bidRounds.Load)
 	reg.CounterFunc("subtrav_sched_auction_bids_total",
 		"Individual bids placed across all auctions.", a.bids.Load)
+	reg.CounterFunc("subtrav_sched_affinity_eligible_total",
+		"Tasks that had at least one affinitive unit when placed.", a.affinityEligible.Load)
+	reg.CounterFunc("subtrav_sched_affinity_hits_total",
+		"Tasks placed on their highest-benefit (signature-preferred) unit.", a.affinityHits.Load)
+	reg.GaugeFunc("subtrav_sched_affinity_hit_ratio",
+		"Affinity hits over eligible tasks since start: 1.0 = pure affinity placement, falling toward 0 as the scheduler trades affinity for balance.",
+		func() float64 {
+			eligible := a.affinityEligible.Load()
+			if eligible == 0 {
+				return 0
+			}
+			return float64(a.affinityHits.Load()) / float64(eligible)
+		})
+	reg.RegisterHistogram("subtrav_sched_auction_win_margin_micro",
+		"Benefit margin between each auction winner's arc and its best alternative, in micro-benefit units.", a.winMargin)
+}
+
+// AffinityStats reports the affinity-hit telemetry directly: eligible
+// tasks (non-empty affinity row) and the subset placed on their
+// highest-benefit unit.
+func (a *Auction) AffinityStats() (eligible, hits int64) {
+	return a.affinityEligible.Load(), a.affinityHits.Load()
 }
 
 // Prices exposes the incremental auctioneer's current dual prices.

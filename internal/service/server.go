@@ -149,7 +149,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if req.TimeoutNanos > 0 {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 		}
-		ch, err := s.rt.SubmitCtx(ctx, query)
+		ch, err := s.rt.SubmitTenantCtx(ctx, req.Query.Tenant, query)
 		if err != nil {
 			if cancel != nil {
 				cancel()

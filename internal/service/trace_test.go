@@ -61,6 +61,40 @@ func TestTraceRPC(t *testing.T) {
 	}
 }
 
+// TestTenantTravelsOverWire checks WireQuery.Tenant reaches the
+// runtime's per-tenant accounting and comes back on trace spans,
+// including through the WireSpan ↔ obs.Span round trip.
+func TestTenantTravelsOverWire(t *testing.T) {
+	t.Parallel()
+	client, stop := startService(t)
+	defer stop()
+
+	if _, err := client.Do(WireQuery{Op: "bfs", Start: 1, Depth: 1, Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := client.Trace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	w := spans[0]
+	if w.Tenant != "acme" {
+		t.Errorf("span tenant = %q, want acme", w.Tenant)
+	}
+	s := w.ToSpan()
+	if s.Tenant != "acme" || s.Preferred != w.Preferred || s.Imbalance != w.Imbalance {
+		t.Errorf("ToSpan dropped tenant/scheduling detail: %+v vs %+v", w, s)
+	}
+	if s.Imbalance < 1 {
+		t.Errorf("span imbalance = %g, want >= 1", s.Imbalance)
+	}
+	if !strings.Contains(s.CSVRow(), ",acme,") {
+		t.Errorf("CSV row missing tenant column: %s", s.CSVRow())
+	}
+}
+
 // TestStatsCarriesCacheCounters checks that the Stats RPC exposes the
 // per-unit cache hit/miss totals -watch renders.
 func TestStatsCarriesCacheCounters(t *testing.T) {

@@ -23,6 +23,13 @@ type WireQuery struct {
 	Start  int32
 	Target int32
 
+	// Tenant attributes the query to a named tenant for per-tenant
+	// admission accounting and metrics ("" = the default bucket). The
+	// server folds unseen tenants past its cardinality cap into one
+	// overflow bucket, so clients may not get per-name isolation under
+	// tenant-name floods.
+	Tenant string
+
 	Depth     int
 	MaxVisits int
 
@@ -190,6 +197,7 @@ func (u WireUnitStats) HitRate() float64 {
 type WireSpan struct {
 	QueryID int64
 	Op      string
+	Tenant  string
 	Start   int32
 
 	SubmitNanos   int64
@@ -199,6 +207,8 @@ type WireSpan struct {
 
 	Unit          int32
 	Affinity      float64
+	Imbalance     float64
+	Preferred     bool
 	QueueLen      int
 	AuctionRounds int
 	Degraded      bool
@@ -219,10 +229,11 @@ type WireSpan struct {
 // wireSpan converts an obs.Span to its wire form.
 func wireSpan(s obs.Span) WireSpan {
 	return WireSpan{
-		QueryID: s.QueryID, Op: s.Op, Start: s.Start,
+		QueryID: s.QueryID, Op: s.Op, Tenant: s.Tenant, Start: s.Start,
 		SubmitNanos: s.SubmitNanos, ScheduleNanos: s.ScheduleNanos,
 		StartNanos: s.StartNanos, EndNanos: s.EndNanos,
-		Unit: s.Unit, Affinity: s.Affinity, QueueLen: s.QueueLen,
+		Unit: s.Unit, Affinity: s.Affinity, Imbalance: s.Imbalance,
+		Preferred: s.Preferred, QueueLen: s.QueueLen,
 		AuctionRounds: s.AuctionRounds, Degraded: s.Degraded,
 		FellBack: s.FellBack, EmptyRow: s.EmptyRow,
 		CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
@@ -236,10 +247,11 @@ func wireSpan(s obs.Span) WireSpan {
 // for CSV rendering with obs.Span.CSVRow).
 func (w WireSpan) ToSpan() obs.Span {
 	return obs.Span{
-		QueryID: w.QueryID, Op: w.Op, Start: w.Start,
+		QueryID: w.QueryID, Op: w.Op, Tenant: w.Tenant, Start: w.Start,
 		SubmitNanos: w.SubmitNanos, ScheduleNanos: w.ScheduleNanos,
 		StartNanos: w.StartNanos, EndNanos: w.EndNanos,
-		Unit: w.Unit, Affinity: w.Affinity, QueueLen: w.QueueLen,
+		Unit: w.Unit, Affinity: w.Affinity, Imbalance: w.Imbalance,
+		Preferred: w.Preferred, QueueLen: w.QueueLen,
 		AuctionRounds: w.AuctionRounds, Degraded: w.Degraded,
 		FellBack: w.FellBack, EmptyRow: w.EmptyRow,
 		CacheHits: w.CacheHits, CacheMisses: w.CacheMisses,
