@@ -333,7 +333,10 @@ func (pe *propEncoder) appendRecord(recs []byte, key string, v graph.Value) ([]b
 }
 
 func arenaString(arena []byte, off uint64, ln uint32, what string) (string, error) {
-	if off+uint64(ln) > uint64(len(arena)) {
+	// Checked as off > len || ln > len-off: the naive off+ln > len
+	// wraps when a hostile record carries off near MaxUint64, passing
+	// the check and panicking on the slice below.
+	if off > uint64(len(arena)) || uint64(ln) > uint64(len(arena))-off {
 		return "", fmt.Errorf("graphio: arena section: %s string [%d,+%d) past the %d-byte arena: %w",
 			what, off, ln, len(arena), ErrCSRCorrupt)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"hash/crc32"
+	"math"
 	"strings"
 	"testing"
 
@@ -283,5 +284,35 @@ func TestReadCSRTruncatedAtEveryBoundary(t *testing.T) {
 			!errors.Is(err, ErrCSRMagic) && !errors.Is(err, ErrCSRCorrupt) {
 			t.Fatalf("truncated to %d bytes: unexpected error class: %v", cut, err)
 		}
+	}
+}
+
+// TestReadCSRArenaOffsetOverflow pins the overflow-safe bounds check
+// in arenaString: a hostile string record carrying an arena offset
+// near MaxUint64 made the naive off+len comparison wrap, pass, and
+// panic on the slice. The decoder must reject it as corruption.
+func TestReadCSRArenaOffsetOverflow(t *testing.T) {
+	data := corruptFixture(t)
+	e := entryFor(t, data, secVPropRecs)
+	found := false
+	for pos := int(e.off); pos < int(e.off+e.ln); pos += propRecSize {
+		rec := data[pos : pos+propRecSize]
+		if graph.ValueKind(le.Uint32(rec[8:])) == graph.KindString {
+			le.PutUint32(rec[12:], 2)              // claimed string length
+			le.PutUint64(rec[16:], math.MaxUint64) // offset that wraps the naive check
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("fixture has no string vertex property record")
+	}
+	refreshCRCs(t, data)
+	_, err := ReadCSR(data)
+	if !errors.Is(err, ErrCSRCorrupt) {
+		t.Fatalf("overflowing arena offset: err = %v, want ErrCSRCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "arena") {
+		t.Fatalf("error does not name the arena section: %v", err)
 	}
 }
