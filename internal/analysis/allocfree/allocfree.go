@@ -1,0 +1,251 @@
+// Package allocfree enforces the zero-steady-state-allocation
+// discipline in functions marked with a `//vet:hotpath` doc comment.
+// The traversal kernels (internal/traverse's Workspace methods) run
+// millions of times per second under the balance-affinity benchmark;
+// a single allocation per call turns the GC into the bottleneck the
+// workspace layer exists to avoid, and nothing but review discipline
+// kept it that way before this analyzer.
+//
+// Inside a marked function the analyzer flags every construct that
+// allocates on each call:
+//
+//   - make and new (fresh backing array / map / pointee every call)
+//   - slice, map, and &T{} composite literals
+//   - append without reuse evidence — accepted evidence is the
+//     self-append form `x = append(x, ...)` (amortized growth into
+//     the same variable) or a `buf[:0]` first argument (explicit
+//     reuse of retained capacity)
+//   - function literals (closures capture to the heap)
+//   - fmt calls (formatting boxes operands) and strings.Builder
+//     growth methods
+//   - string <-> []byte / []rune conversions (copy on every call)
+//
+// Intentional amortized growth — a ring buffer doubling — is excused
+// with `//lint:allow allocfree <amortization argument>`, which keeps
+// the argument in the source next to the allocation it defends.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"subtrav/internal/analysis"
+)
+
+// marker is the doc-comment line that opts a function into the
+// discipline.
+const marker = "//vet:hotpath"
+
+// Analyzer reports per-call allocations in //vet:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "reports per-call allocations (make/new, composite literals, " +
+		"append without reuse evidence, closures, fmt, strings.Builder " +
+		"growth, string conversions) inside functions whose doc comment " +
+		"carries //vet:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// First pass: collect append calls with self-assign evidence
+	// (`x = append(x, ...)`, compared by printed form, so field and
+	// index targets work too).
+	selfAssigned := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				selfAssigned[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"hot path allocates: closure captures escape to the heap; hoist the function value out of the hot path or pass state explicitly")
+			return false
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(),
+					"hot path allocates: &%s{...} heap-allocates a fresh value each call; reuse a workspace field",
+					types.ExprString(cl.Type))
+				return false
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(),
+						"hot path allocates: composite literal builds a fresh %s each call; reuse a workspace buffer",
+						t.Underlying().String())
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, selfAssigned)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, selfAssigned map[*ast.CallExpr]bool) {
+	// Builtins.
+	switch {
+	case isBuiltin(pass, call, "make"):
+		pass.Reportf(call.Pos(),
+			"hot path allocates: make creates a fresh backing store on every call; reuse a workspace buffer, or //lint:allow allocfree with the amortization argument if growth is intentional")
+		return
+	case isBuiltin(pass, call, "new"):
+		pass.Reportf(call.Pos(),
+			"hot path allocates: new heap-allocates on every call; reuse a workspace field")
+		return
+	case isBuiltin(pass, call, "append"):
+		if selfAssigned[call] || (len(call.Args) > 0 && isResliceToZero(call.Args[0])) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"hot path append without reuse evidence: result is not assigned back to its first argument and the first argument is not a [:0] reslice, so growth abandons the old backing array each call")
+		return
+	}
+
+	// Conversions: string <-> []byte/[]rune copy.
+	if convertsStringBytes(pass, call) {
+		pass.Reportf(call.Pos(),
+			"hot path allocates: string/byte-slice conversion copies its data on every call; keep one representation across the hot path")
+		return
+	}
+
+	// fmt and strings.Builder growth.
+	if fn := pass.Callee(call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(),
+				"hot path calls fmt.%s: formatting boxes its operands and allocates; record raw values and format off the hot path", fn.Name())
+			return
+		}
+		if isBuilderGrowth(fn) {
+			pass.Reportf(call.Pos(),
+				"hot path grows a strings.Builder: its internal buffer reallocates as it fills; build strings off the hot path or into a reused byte slice")
+		}
+	}
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isResliceToZero matches buf[:0] (and buf[0:0]): reuse of retained
+// capacity, the workspace idiom.
+func isResliceToZero(e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || se.Slice3 {
+		return false
+	}
+	if se.Low != nil && !isZeroLit(se.Low) {
+		return false
+	}
+	return se.High != nil && isZeroLit(se.High)
+}
+
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// convertsStringBytes reports whether call is a conversion between
+// string and []byte / []rune.
+func convertsStringBytes(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return false
+	}
+	return (isStringType(tv.Type) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(tv.Type) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// isBuilderGrowth matches the strings.Builder methods that can grow
+// its buffer.
+func isBuilderGrowth(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "strings" || obj.Name() != "Builder" {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Grow":
+		return true
+	}
+	return false
+}

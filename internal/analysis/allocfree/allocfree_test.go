@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/allocfree"
+	"subtrav/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "allocfreetest")
+}

@@ -1,0 +1,80 @@
+// Package allocfreetest exercises the allocfree analyzer: unmarked
+// functions allocate freely, //vet:hotpath functions are held to the
+// zero-allocation discipline, and the two reuse idioms (self-append,
+// [:0] reslice) plus a documented //lint:allow pass clean.
+package allocfreetest
+
+import (
+	"fmt"
+	"strings"
+)
+
+type ws struct {
+	buf []int
+}
+
+// cold carries no marker: every allocation here is legitimate.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, 1)
+}
+
+//vet:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want "make creates a fresh backing store"
+}
+
+//vet:hotpath
+func hotNew() *ws {
+	return new(ws) // want "new heap-allocates"
+}
+
+//vet:hotpath
+func hotLiteral() map[string]int {
+	return map[string]int{} // want "composite literal"
+}
+
+//vet:hotpath
+func hotPtrLiteral() *ws {
+	return &ws{} // want "heap-allocates a fresh value"
+}
+
+//vet:hotpath
+func hotAppend(xs, out []int) []int {
+	tmp := append(xs, 1) // want "append without reuse evidence"
+	out = append(out, tmp...)
+	return out
+}
+
+//vet:hotpath
+func hotReslice(w *ws, xs []int) {
+	w.buf = append(w.buf[:0], xs...)
+}
+
+//vet:hotpath
+func hotClosure(x int) func() int {
+	return func() int { return x } // want "closure captures escape"
+}
+
+//vet:hotpath
+func hotFmt(x int) {
+	fmt.Println(x) // want "fmt.Println"
+}
+
+//vet:hotpath
+func hotBuilder(b *strings.Builder, s string) {
+	b.WriteString(s) // want "strings.Builder"
+}
+
+//vet:hotpath
+func hotConv(s string) []byte {
+	return []byte(s) // want "conversion copies"
+}
+
+//vet:hotpath
+func hotAllowed(w *ws, n int) {
+	if n > cap(w.buf) {
+		//lint:allow allocfree fixture: doubling growth amortizes to O(1) per element
+		w.buf = make([]int, n)
+	}
+}

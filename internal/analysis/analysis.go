@@ -38,6 +38,11 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check. It must not retain the Pass.
 	Run func(*Pass) error
+	// Finish, if non-nil, runs once after every package's Run (in
+	// import order), with access to all facts the analyzer exported.
+	// Module-wide invariants — a cycle in the union of per-package
+	// lock graphs — are checked here.
+	Finish func(*ModulePass) error
 }
 
 // Pass carries one package's syntax and type information through an
@@ -49,6 +54,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store *factStore
 	diags []Diagnostic
 }
 
@@ -108,8 +114,18 @@ func parseAllow(text string) (name string, isAllow, wellFormed bool) {
 	return name, true, name != "" && strings.TrimSpace(reason) != ""
 }
 
-// suppressions maps filename -> line -> analyzer names allowed there.
-type suppressions map[string]map[int]map[string]bool
+// allowMarkerSite is one well-formed //lint:allow comment; used is
+// set when the marker suppresses at least one diagnostic, so stale
+// suppressions are detectable (see UnusedAllows).
+type allowMarkerSite struct {
+	pos  token.Position
+	name string // analyzer the marker suppresses
+	used bool
+}
+
+// suppressions maps filename -> line -> analyzer name -> marker.
+// Both lines a marker covers point at the same site record.
+type suppressions map[string]map[int]map[string]*allowMarkerSite
 
 // collectSuppressions scans file comments for //lint:allow markers.
 // A marker covers its own source line and the next one, so both
@@ -127,16 +143,17 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				site := &allowMarkerSite{pos: pos, name: name}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]*allowMarkerSite{}
 					sup[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					if byLine[line] == nil {
-						byLine[line] = map[string]bool{}
+						byLine[line] = map[string]*allowMarkerSite{}
 					}
-					byLine[line][name] = true
+					byLine[line][name] = site
 				}
 			}
 		}
@@ -144,8 +161,47 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 	return sup
 }
 
+// allows reports whether d is suppressed, marking the covering
+// marker as used.
 func (s suppressions) allows(d Diagnostic) bool {
-	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+	site := s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+	if site == nil {
+		return false
+	}
+	site.used = true
+	return true
+}
+
+// merge folds o's markers into s (distinct files, so no collisions).
+func (s suppressions) merge(o suppressions) {
+	for file, byLine := range o {
+		s[file] = byLine
+	}
+}
+
+// unused returns one diagnostic per marker that never suppressed a
+// finding, in positional order.
+func (s suppressions) unused() []Diagnostic {
+	seen := map[*allowMarkerSite]bool{}
+	var out []Diagnostic
+	for _, byLine := range s {
+		for _, byName := range byLine {
+			for _, site := range byName {
+				if site.used || seen[site] {
+					continue
+				}
+				seen[site] = true
+				out = append(out, Diagnostic{
+					Analyzer: "unused-allow",
+					Pos:      site.pos,
+					Message: fmt.Sprintf("//lint:allow %s suppresses nothing: the finding it excused is gone (or the analyzer name is wrong); delete the stale suppression",
+						site.name),
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 // MalformedAllows returns a diagnostic for every //lint:allow comment

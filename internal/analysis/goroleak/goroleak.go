@@ -1,0 +1,194 @@
+// Package goroleak reports `go` statements that launch goroutines
+// with no termination path. The check is structural, over the
+// control-flow graph of the goroutine's body: a body every one of
+// whose reachable blocks can reach the function exit always has a
+// way to finish, while a body with a divergent region — an infinite
+// for with no break/return, a select{} — can never return once it
+// enters that region, and the goroutine outlives every traversal,
+// holding its stack and captures until process death.
+//
+// The CFG encodes the repo's sanctioned shutdown idioms for free:
+// `case <-ctx.Done(): return` is a path to Exit, so a ctx-tied loop
+// is not divergent; `for v := range ch` always carries an exit edge
+// because close(ch) ends the range; a WaitGroup worker simply
+// returns. What the analyzer flags is exactly the loop that none of
+// those idioms reach.
+//
+// Cross-package launches (`go pkg.Run(ctx)`) are resolved through
+// the facts layer: every function exports whether its body diverges,
+// and go sites in importing packages read the fact back. A one-call
+// wrapper body (`go func() { daemon.Run(ctx) }()`) is unwrapped so
+// the verdict comes from the function that actually loops.
+// Goroutines launched through function values or interface methods
+// are not resolvable statically and are skipped. Blocking leaks
+// (goroutines stuck on a channel op forever) are a liveness
+// property out of scope here; this analyzer owns the structural
+// half.
+//
+// A process-lifetime daemon that is deliberately terminated only by
+// exit carries //lint:allow goroleak with that justification at the
+// go statement.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/cfg"
+)
+
+// Analyzer reports go statements whose goroutine can never terminate.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "requires every go statement to launch a body whose CFG can " +
+		"reach its exit (return, ctx.Done path, range over a closable " +
+		"channel); divergent bodies — infinite loops with no escape, " +
+		"select{} — are goroutine leaks, resolved across packages via facts",
+	Run: run,
+}
+
+// divergesFact marks a function whose body contains a divergent
+// region, with the position of that region for the diagnostic.
+type divergesFact struct {
+	Diverges bool
+	LoopPos  token.Position
+}
+
+func (*divergesFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	// Map every function object to its declaration so same-package
+	// launches resolve without facts.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// Export divergence facts for every function, so importing
+	// packages can judge `go thispkg.Fn()` sites.
+	bodyVerdict := map[*ast.BlockStmt]divergesFact{}
+	verdictOf := func(body *ast.BlockStmt) divergesFact {
+		if v, ok := bodyVerdict[body]; ok {
+			return v
+		}
+		g := cfg.New(body)
+		div := g.Divergent()
+		v := divergesFact{Diverges: len(div) > 0}
+		if v.Diverges {
+			if pos := blocksPos(div); pos.IsValid() {
+				v.LoopPos = pass.Fset.Position(pos)
+			} else {
+				v.LoopPos = pass.Fset.Position(body.Pos())
+			}
+		}
+		bodyVerdict[body] = v
+		return v
+	}
+	for obj, fd := range decls {
+		v := verdictOf(fd.Body)
+		pass.ExportObjectFact(obj, &v)
+	}
+
+	// Judge every go statement.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var v divergesFact
+			var resolved bool
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if inner := wrappedCall(fun.Body); inner != nil {
+					v, resolved = calleeVerdict(pass, decls, verdictOf, inner)
+				}
+				if !resolved {
+					v, resolved = verdictOf(fun.Body), true
+				}
+			default:
+				v, resolved = calleeVerdict(pass, decls, verdictOf, gs.Call)
+			}
+			if resolved && v.Diverges {
+				pass.Reportf(gs.Pos(),
+					"goroutine can never terminate: its body loops forever with no path to return (divergent region at %s:%d); give it an exit tied to ctx.Done(), a closable channel, or a bounded loop",
+					shortFile(v.LoopPos.Filename), v.LoopPos.Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeVerdict resolves a call's target function and returns its
+// divergence verdict — same-package targets from their declaration,
+// cross-package targets from the exported fact.
+func calleeVerdict(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, verdictOf func(*ast.BlockStmt) divergesFact, call *ast.CallExpr) (divergesFact, bool) {
+	fn := pass.Callee(call)
+	if fn == nil {
+		return divergesFact{}, false
+	}
+	if fd, ok := decls[fn]; ok {
+		return verdictOf(fd.Body), true
+	}
+	var fact divergesFact
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &fact) {
+		return fact, true
+	}
+	return divergesFact{}, false
+}
+
+// wrappedCall returns the single call a one-statement wrapper body
+// makes, or nil if the body does anything else.
+func wrappedCall(body *ast.BlockStmt) *ast.CallExpr {
+	if len(body.List) != 1 {
+		return nil
+	}
+	es, ok := body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return call
+}
+
+// blocksPos finds the earliest source position inside a set of
+// blocks (first statement or condition), token.NoPos if all are
+// synthetic.
+func blocksPos(blocks []*cfg.Block) token.Pos {
+	best := token.NoPos
+	consider := func(p token.Pos) {
+		if p.IsValid() && (!best.IsValid() || p < best) {
+			best = p
+		}
+	}
+	for _, b := range blocks {
+		if len(b.Stmts) > 0 {
+			consider(b.Stmts[0].Pos())
+		}
+		if b.Cond != nil {
+			consider(b.Cond.Pos())
+		}
+	}
+	return best
+}
+
+func shortFile(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goroleaktest")
+}

@@ -1,0 +1,89 @@
+// Package goroleaktest exercises the goroleak analyzer: divergent
+// goroutine bodies (flagged, directly and through named functions
+// and one-call wrappers), every sanctioned termination idiom
+// (clean), and a documented process-lifetime suppression.
+package goroleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// daemon loops with no exit: divergent, flagged at each go site.
+func daemon() {
+	for {
+		work()
+	}
+}
+
+// spin blocks forever: select{} has no successors.
+func spin() {
+	select {}
+}
+
+func leakLiteral() {
+	go func() { // want "can never terminate"
+		for {
+			work()
+		}
+	}()
+}
+
+func leakNamed() {
+	go daemon() // want "can never terminate"
+}
+
+func leakWrapped() {
+	go func() { // want "can never terminate"
+		spin()
+	}()
+}
+
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func rangeWorker(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func wgWorker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func stopChanLoop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func allowedDaemon() {
+	//lint:allow goroleak fixture: process-lifetime daemon, reaped by process exit
+	go daemon()
+}

@@ -23,6 +23,10 @@ type Package struct {
 	PkgPath string
 	Name    string
 	Dir     string
+	// Imports are the package's direct imports (import paths), used
+	// by Run to analyze dependencies before their importers so facts
+	// flow downstream.
+	Imports []string
 	Fset    *token.FileSet
 	Files   []*ast.File
 	Types   *types.Package
@@ -84,6 +88,7 @@ type listedPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	Error      *struct{ Err string }
 }
@@ -96,7 +101,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err := l.init(); err != nil {
 		return nil, err
 	}
-	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Standard,Error", "--"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Error", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.modDir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
@@ -131,6 +136,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		pkg.Name = lp.Name
+		pkg.Imports = lp.Imports
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -1,0 +1,665 @@
+// Package lockorder builds the module-wide lock-class acquisition
+// graph and reports every cycle in it as a potential deadlock. Two
+// goroutines acquiring lock classes A and B in opposite orders is
+// the textbook deadlock no per-package, per-statement check can see:
+// the two acquisition sites are usually in different functions and
+// often in different packages. lockhold (PR 3) already forbids
+// blocking *under* a lock; this analyzer closes the other half of
+// the discipline — the order locks nest in.
+//
+// A lock class is the declaration site of the mutex, not its
+// instance: `(live.Runtime).mu`, `(signature.shard).mu`, a
+// package-level `chaos.violationMu`. Within one function a linear
+// walk (branch bodies inherit a copy of the held set, function
+// literals start empty — a goroutine does not hold its creator's
+// locks) tracks which classes are held; acquiring B while A is held
+// records the edge A→B. Calls made while holding A contribute edges
+// A→C for every class C the callee may acquire — same-package
+// callees by a fixpoint over the package call graph, cross-package
+// callees through the facts layer: every function exports the set of
+// classes it may (transitively) acquire, and every package exports
+// its observed edges. The Finish phase unions all edges and reports
+// each cycle once, naming both acquisition sites.
+//
+// Hand-over-hand acquisition of two *instances* of one class is
+// indistinguishable from a self-deadlock at class granularity and is
+// reported as a self-cycle; genuinely ordered instance chains earn a
+// //lint:allow lockorder with the ordering argument as the reason.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"subtrav/internal/analysis"
+)
+
+// Analyzer reports lock-order cycles across the whole module.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "builds the module-wide lock-class acquisition graph (direct " +
+		"acquisitions plus callee summaries propagated through facts) and " +
+		"reports any cycle as a potential deadlock, naming both acquisition sites",
+	Run:    run,
+	Finish: finish,
+}
+
+// acquiresFact is attached to every function that may acquire locks:
+// the classes it (transitively) acquires, with one representative
+// site each.
+type acquiresFact struct {
+	Classes []classSite
+}
+
+func (*acquiresFact) AFact() {}
+
+// classSite is one lock class with a representative acquisition site.
+type classSite struct {
+	Class string
+	Pos   token.Position
+}
+
+// edgesFact is the package fact: every held→acquired edge observed
+// while analyzing one package.
+type edgesFact struct {
+	Edges []edge
+}
+
+func (*edgesFact) AFact() {}
+
+// edge records "To was acquired while From was held": FromPos is
+// where From was taken, ToPos where To was (or may be, via a call)
+// taken.
+type edge struct {
+	From, To       string
+	FromPos, ToPos token.Position
+	// Via names the callee whose summary contributed the edge, ""
+	// for a direct Lock call.
+	Via string
+}
+
+// funcInfo is the per-function evidence gathered in phase 1.
+type funcInfo struct {
+	obj *types.Func
+	// direct lock classes acquired in the body, first site wins.
+	direct map[string]token.Position
+	// calls made (any held state) to same-package functions.
+	sameCalls []*types.Func
+	// crossClasses: classes contributed by cross-package callees'
+	// facts (already final, since dependencies ran first).
+	crossClasses map[string]token.Position
+	// acquisitions while holding: (heldClass, heldPos, event).
+	events []lockEvent
+}
+
+// lockEvent is a Lock call or a function call made at a point where
+// locks were held.
+type lockEvent struct {
+	held   map[string]token.Position
+	pos    token.Position
+	class  string      // non-"" for a direct Lock of class
+	callee *types.Func // non-nil for a call (same or cross package)
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass}
+
+	var infos []*funcInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			info := w.analyzeFunc(obj, fd.Body)
+			infos = append(infos, info)
+			// Function literals run with their own (empty) held set;
+			// their evidence folds into the enclosing function's
+			// summary so calls to the enclosing function still carry
+			// the closure's acquisitions... but a closure is not
+			// always called, so only direct evidence in the decl body
+			// counts toward the function's own summary. Literals are
+			// analyzed independently for edges:
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					infos = append(infos, w.analyzeFunc(nil, lit.Body))
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: fixpoint the transitive class summary over the
+	// same-package call graph.
+	byObj := map[*types.Func]*funcInfo{}
+	for _, info := range infos {
+		if info.obj != nil {
+			byObj[info.obj] = info
+		}
+	}
+	summary := map[*funcInfo]map[string]token.Position{}
+	for _, info := range infos {
+		s := map[string]token.Position{}
+		for c, p := range info.direct {
+			s[c] = p
+		}
+		for c, p := range info.crossClasses {
+			if _, ok := s[c]; !ok {
+				s[c] = p
+			}
+		}
+		summary[info] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range infos {
+			s := summary[info]
+			for _, callee := range info.sameCalls {
+				ci, ok := byObj[callee]
+				if !ok {
+					continue
+				}
+				for c, p := range summary[ci] {
+					if _, ok := s[c]; !ok {
+						s[c] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: edges. Direct Lock-while-held edges, plus call-while-
+	// held edges through the callee's final summary (same-package) or
+	// imported fact (cross-package).
+	var edges []edge
+	addEdge := func(held map[string]token.Position, toClass string, toPos token.Position, via string) {
+		for from, fromPos := range held {
+			edges = append(edges, edge{From: from, To: toClass, FromPos: fromPos, ToPos: toPos, Via: via})
+		}
+	}
+	for _, info := range infos {
+		for _, ev := range info.events {
+			switch {
+			case ev.class != "":
+				addEdge(ev.held, ev.class, ev.pos, "")
+			case ev.callee != nil:
+				var classes map[string]token.Position
+				via := ev.callee.Name()
+				if ci, ok := byObj[ev.callee]; ok {
+					classes = summary[ci]
+				} else if ev.callee.Pkg() != nil && ev.callee.Pkg() != pass.Pkg {
+					var fact acquiresFact
+					if pass.ImportObjectFact(ev.callee, &fact) {
+						classes = map[string]token.Position{}
+						for _, cs := range fact.Classes {
+							classes[cs.Class] = cs.Pos
+						}
+					}
+				}
+				for c := range classes {
+					addEdge(ev.held, c, ev.pos, via)
+				}
+			}
+		}
+	}
+
+	// Export: per-function summaries as object facts, package edges
+	// as the package fact. Sorted for deterministic serialization.
+	for _, info := range infos {
+		if info.obj == nil {
+			continue
+		}
+		s := summary[info]
+		if len(s) == 0 {
+			continue
+		}
+		fact := acquiresFact{}
+		classes := make([]string, 0, len(s))
+		for c := range s {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fact.Classes = append(fact.Classes, classSite{Class: c, Pos: s[c]})
+		}
+		pass.ExportObjectFact(info.obj, &fact)
+	}
+	if len(edges) > 0 {
+		sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+		dedup := edges[:1]
+		for _, e := range edges[1:] {
+			last := dedup[len(dedup)-1]
+			if e.From != last.From || e.To != last.To {
+				dedup = append(dedup, e)
+			}
+		}
+		pass.ExportPackageFact(&edgesFact{Edges: dedup})
+	}
+	return nil
+}
+
+func edgeLess(a, b edge) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	if a.ToPos.Filename != b.ToPos.Filename {
+		return a.ToPos.Filename < b.ToPos.Filename
+	}
+	return a.ToPos.Line < b.ToPos.Line
+}
+
+// walker performs the linear held-set walk over one function body.
+type walker struct {
+	pass *analysis.Pass
+}
+
+func (w *walker) analyzeFunc(obj *types.Func, body *ast.BlockStmt) *funcInfo {
+	info := &funcInfo{
+		obj:          obj,
+		direct:       map[string]token.Position{},
+		crossClasses: map[string]token.Position{},
+	}
+	w.block(info, body.List, map[string]token.Position{})
+	return info
+}
+
+func cloneHeld(h map[string]token.Position) map[string]token.Position {
+	c := make(map[string]token.Position, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *walker) block(info *funcInfo, stmts []ast.Stmt, held map[string]token.Position) {
+	for _, s := range stmts {
+		w.stmt(info, s, held)
+	}
+}
+
+func (w *walker) stmt(info *funcInfo, s ast.Stmt, held map[string]token.Position) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(info, s.X, held)
+	case *ast.DeferStmt:
+		if class, kind, ok := w.lockOp(s.Call); ok {
+			if kind == opUnlock {
+				// defer Unlock: the lock stays held to function end on
+				// this walk; edges keep accruing, which is exactly
+				// right — anything acquired later nests inside it.
+				_ = class
+				return
+			}
+		}
+		// A deferred arbitrary call runs at exit with unknown held
+		// state; skip (conservative).
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(info, e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(info, v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(info, e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(info, s.Init, held)
+		}
+		w.expr(info, s.Cond, held)
+		w.block(info, s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(info, s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		w.block(info, s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(info, s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(info, s.Cond, held)
+		}
+		w.block(info, s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		w.expr(info, s.X, held)
+		w.block(info, s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(info, s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(info, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(info, cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(info, cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.block(info, cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(info, s.Stmt, held)
+	case *ast.GoStmt:
+		// Goroutine body holds nothing of ours; args evaluate here.
+		for _, a := range s.Call.Args {
+			w.expr(info, a, held)
+		}
+	case *ast.SendStmt:
+		w.expr(info, s.Value, held)
+	}
+}
+
+// expr scans an expression for lock operations and calls, updating
+// held state (for statement-level Lock/Unlock) and recording events.
+func (w *walker) expr(info *funcInfo, e ast.Expr, held map[string]token.Position) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed independently with an empty held set
+		case *ast.CallExpr:
+			pos := w.pass.Fset.Position(n.Pos())
+			if class, kind, ok := w.lockOp(n); ok {
+				switch kind {
+				case opLock:
+					if _, seen := info.direct[class]; !seen {
+						info.direct[class] = pos
+					}
+					if len(held) > 0 {
+						info.events = append(info.events, lockEvent{held: cloneHeld(held), pos: pos, class: class})
+					}
+					held[class] = pos
+				case opUnlock:
+					delete(held, class)
+				}
+				return false
+			}
+			if fn := w.pass.Callee(n); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg() == w.pass.Pkg {
+					info.sameCalls = append(info.sameCalls, fn)
+					if len(held) > 0 {
+						info.events = append(info.events, lockEvent{held: cloneHeld(held), pos: pos, callee: fn})
+					}
+				} else {
+					// Cross-package: the callee's summary, if it has
+					// one, was exported when its package ran (import
+					// order guarantees that happened first). Stdlib
+					// callees simply have no fact.
+					var fact acquiresFact
+					if w.pass.ImportObjectFact(fn, &fact) {
+						for _, cs := range fact.Classes {
+							if _, ok := info.crossClasses[cs.Class]; !ok {
+								info.crossClasses[cs.Class] = cs.Pos
+							}
+						}
+						if len(held) > 0 {
+							info.events = append(info.events, lockEvent{held: cloneHeld(held), pos: pos, callee: fn})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+type lockOpKind uint8
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp recognizes Lock/RLock/Unlock/RUnlock calls on sync.Mutex /
+// sync.RWMutex values (direct fields, package vars, or embedded) and
+// resolves the lock class. TryLock/TryRLock cannot block and are
+// ignored.
+func (w *walker) lockOp(call *ast.CallExpr) (class string, kind lockOpKind, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", 0, false
+	}
+	// The method must resolve to sync.Mutex/RWMutex (directly or via
+	// embedding).
+	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	class = w.classOf(sel.X)
+	if class == "" {
+		return "", 0, false
+	}
+	return class, kind, true
+}
+
+// classOf resolves the lock class of the expression a Lock method is
+// called on:
+//
+//	u.mu.Lock()        -> pkg.unitType.mu      (field: owner type + field)
+//	pkgVar.Lock()      -> pkg.pkgVar           (package-level var)
+//	t.shards[i].mu     -> pkg.shard.mu         (through indexing)
+//	s.Lock()           -> pkg.S                (embedded sync.Mutex)
+//	localMu.Lock()     -> ""                   (function-local: no class)
+func (w *walker) classOf(x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[x]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			if !v.IsField() && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// Local variable or receiver holding a mutex value: if
+			// its type is a named non-sync type (embedded case), the
+			// type is the class.
+			return namedClass(w.pass.TypesInfo.TypeOf(x))
+		}
+		return namedClass(w.pass.TypesInfo.TypeOf(x))
+	case *ast.SelectorExpr:
+		// Field access: class is owner type + field name; or a
+		// package-qualified var.
+		if obj := w.pass.TypesInfo.Uses[x.Sel]; obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+				if v.IsField() {
+					if owner := namedClass(w.pass.TypesInfo.TypeOf(x.X)); owner != "" {
+						return owner + "." + v.Name()
+					}
+					return ""
+				}
+				if v.Parent() == v.Pkg().Scope() {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+			}
+		}
+		return ""
+	case *ast.IndexExpr:
+		return namedClass(w.pass.TypesInfo.TypeOf(x))
+	case *ast.UnaryExpr, *ast.StarExpr, *ast.CallExpr:
+		return namedClass(w.pass.TypesInfo.TypeOf(x))
+	}
+	return ""
+}
+
+// namedClass renders a named type as "pkgpath.Name"; sync itself and
+// unnamed types yield "".
+func namedClass(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() == "sync" {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// finish unions every package's edges and reports each cycle in the
+// class graph once.
+func finish(m *analysis.ModulePass) error {
+	type edgeKey struct{ from, to string }
+	best := map[edgeKey]edge{}
+	m.EachPackageFact(&edgesFact{}, func(pkgPath string, f analysis.Fact) {
+		for _, e := range f.(*edgesFact).Edges {
+			k := edgeKey{e.From, e.To}
+			if old, ok := best[k]; !ok || edgeLess(e, old) {
+				best[k] = e
+			}
+		}
+	})
+	adj := map[string][]string{}
+	for k := range best {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	reported := map[string]bool{} // canonical cycle id -> reported
+	for _, start := range nodes {
+		// Shortest cycle through `start`: BFS back to start.
+		cyc := shortestCycle(adj, start)
+		if cyc == nil {
+			continue
+		}
+		id := canonicalCycleID(cyc)
+		if reported[id] {
+			continue
+		}
+		reported[id] = true
+
+		// Describe each hop with its acquisition sites.
+		var hops []string
+		for i := 0; i < len(cyc); i++ {
+			e := best[edgeKey{cyc[i], cyc[(i+1)%len(cyc)]}]
+			via := ""
+			if e.Via != "" {
+				via = " via " + e.Via
+			}
+			hops = append(hops, fmt.Sprintf("%s (held since %s) -> %s (acquired at %s%s)",
+				shortClass(e.From), posShort(e.FromPos), shortClass(e.To), posShort(e.ToPos), via))
+		}
+		anchor := best[edgeKey{cyc[0], cyc[(0+1)%len(cyc)]}]
+		if len(cyc) == 1 {
+			m.Report(anchor.ToPos,
+				"lock-order deadlock risk: %s is acquired while an instance of %s is already held (held since %s); "+
+					"a single instance self-deadlocks and two instances deadlock against the opposite order — "+
+					"order instances explicitly or drop the nesting",
+				shortClass(cyc[0]), shortClass(cyc[0]), posShort(anchor.FromPos))
+		} else {
+			m.Report(anchor.ToPos,
+				"lock-order cycle (potential deadlock): %s", strings.Join(hops, "; "))
+		}
+	}
+	return nil
+}
+
+// shortestCycle finds the shortest cycle starting and ending at
+// start, as the node sequence [start, n1, n2, ...] (edge back to
+// start implied); nil if none.
+func shortestCycle(adj map[string][]string, start string) []string {
+	type item struct {
+		node string
+		path []string
+	}
+	queue := []item{{node: start, path: []string{start}}}
+	seen := map[string]bool{start: true}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[it.node] {
+			if next == start {
+				return it.path
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			path := append(append([]string{}, it.path...), next)
+			queue = append(queue, item{node: next, path: path})
+		}
+	}
+	return nil
+}
+
+// canonicalCycleID rotates the cycle to start at its smallest node so
+// A->B->A and B->A->B dedup to one report.
+func canonicalCycleID(cyc []string) string {
+	min := 0
+	for i := range cyc {
+		if cyc[i] < cyc[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string{}, cyc[min:]...), cyc[:min]...)
+	return strings.Join(rotated, "->")
+}
+
+// shortClass trims the module path prefix for readable messages:
+// "subtrav/internal/live.Runtime.mu" -> "live.Runtime.mu".
+func shortClass(c string) string {
+	if i := strings.LastIndex(c, "/"); i >= 0 {
+		return c[i+1:]
+	}
+	return c
+}
+
+func posShort(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}

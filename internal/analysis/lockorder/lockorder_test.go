@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockordertest")
+}

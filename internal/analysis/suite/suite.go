@@ -6,14 +6,20 @@ package suite
 
 import (
 	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/allocfree"
 	"subtrav/internal/analysis/atomicmix"
 	"subtrav/internal/analysis/ctxplumb"
+	"subtrav/internal/analysis/goroleak"
 	"subtrav/internal/analysis/lockhold"
+	"subtrav/internal/analysis/lockorder"
 	"subtrav/internal/analysis/metriclabel"
 	"subtrav/internal/analysis/simdet"
+	"subtrav/internal/analysis/taintlen"
 )
 
-// Analyzers returns the five checks in their canonical order.
+// Analyzers returns the nine checks in their canonical order: the
+// five syntactic analyzers from the original suite, then the four
+// dataflow-powered ones built on the CFG engine and the facts layer.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		simdet.Analyzer,
@@ -21,6 +27,10 @@ func Analyzers() []*analysis.Analyzer {
 		lockhold.Analyzer,
 		ctxplumb.Analyzer,
 		metriclabel.Analyzer,
+		lockorder.Analyzer,
+		taintlen.Analyzer,
+		allocfree.Analyzer,
+		goroleak.Analyzer,
 	}
 }
 
@@ -67,5 +77,22 @@ func Scopes() map[string]analysis.Scope {
 		ctxplumb.Analyzer.Name: {SkipMain: true},
 		// Metric hygiene is a property of every registry call site.
 		metriclabel.Analyzer.Name: {},
+		// A lock-order cycle deadlocks no matter which packages the
+		// two acquisition orders live in: module-wide, no exemptions.
+		lockorder.Analyzer.Name: {},
+		// Untrusted bytes enter through the snapshot reader and the
+		// wire protocol; decoded sizes must be validated where they
+		// are decoded, before they spread.
+		taintlen.Analyzer.Name: {Paths: []string{
+			"subtrav/internal/graphio",
+			"subtrav/internal/service",
+		}},
+		// The //vet:hotpath marker gates allocfree per function, so
+		// the package scope is unrestricted — an unmarked function is
+		// never flagged.
+		allocfree.Analyzer.Name: {},
+		// A leaked goroutine is a leak wherever it is launched,
+		// commands included.
+		goroleak.Analyzer.Name: {},
 	}
 }

@@ -12,6 +12,9 @@ import (
 // scope refers to a real analyzer, so a renamed analyzer cannot
 // silently orphan its policy.
 func TestSuiteWiring(t *testing.T) {
+	if n := len(suite.Analyzers()); n != 9 {
+		t.Errorf("suite has %d analyzers, want 9 (README table and CI summary list nine)", n)
+	}
 	names := map[string]bool{}
 	for _, a := range suite.Analyzers() {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {
@@ -51,11 +54,17 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; go list pattern broken?", len(pkgs))
 	}
-	diags, err := analysis.Run(pkgs, suite.Analyzers(), suite.Scopes())
+	res, err := analysis.RunAll(pkgs, suite.Analyzers(), suite.Scopes())
 	if err != nil {
 		t.Fatalf("running suite: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		t.Errorf("unexpected finding: %s", d)
+	}
+	// Stale-suppression hygiene rides along: a full-suite, full-module
+	// run is the one context where an unused //lint:allow is
+	// meaningful, so the smoke test keeps the tree free of them.
+	for _, d := range res.UnusedAllows {
+		t.Errorf("stale suppression: %s", d)
 	}
 }

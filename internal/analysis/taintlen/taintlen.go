@@ -1,0 +1,406 @@
+// Package taintlen tracks lengths, counts and offsets decoded from
+// untrusted byte buffers — snapshot headers, wire frames — and
+// reports when one reaches an allocation or indexing operation
+// without passing through a bounds check first. A hostile snapshot
+// that declares 2^60 nodes must die at a validation branch, not
+// inside make(); an offset read from a frame must be compared
+// against the buffer it indexes before it indexes it.
+//
+// Sources are the encoding/binary ByteOrder decode calls
+// (Uint16/Uint32/Uint64); any value computed from a source — through
+// conversions, arithmetic, or assignment chains — is tainted. Taint
+// propagates forward over the function's control-flow graph
+// (internal/analysis/cfg) to a fixpoint, so loops and merges are
+// handled soundly for a may-analysis.
+//
+// A branch condition that mentions a tainted variable clears its
+// taint on BOTH successors. That is deliberately conservative-in-
+// reverse: a dominance-precise analysis would clear it only on the
+// guarded edge, but the repo's validation idiom is early-return
+// (`if n > max { return err }`), where the fallthrough edge is the
+// checked one — and distinguishing which comparison direction guards
+// which edge is beyond what a vet-grade checker should guess at. An
+// if that checks-and-ignores still launders taint; the fixture pins
+// this as a known false-negative shape rather than risking false
+// positives on every guard.
+//
+// Sinks: make() length/capacity arguments, slice/array/string
+// indexing, slice-expression bounds (which also covers io.ReadFull
+// sizing, spelled io.ReadFull(r, buf[:n])), and io.CopyN byte
+// counts. Map indexing is not a sink — a hostile map key wastes a
+// lookup, not memory.
+package taintlen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"subtrav/internal/analysis"
+	"subtrav/internal/analysis/cfg"
+)
+
+// Analyzer reports untrusted decoded integers reaching allocation or
+// indexing without a bounds check.
+var Analyzer = &analysis.Analyzer{
+	Name: "taintlen",
+	Doc: "tracks counts/lengths/offsets decoded from byte buffers via " +
+		"encoding/binary and reports any that reach make, slice/array " +
+		"indexing, slice bounds, or io.CopyN without a branch that " +
+		"inspects them first (dataflow over the function CFG)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+			// Function literals get their own walk with a fresh state:
+			// taint does not flow into a closure from its creator here
+			// (captured decoded values crossing a closure boundary are
+			// rare enough to not be worth the precision loss).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// tracker carries the per-function taint walk: the fact domain is
+// *types.Var (tainted variables); sourcePos remembers where each
+// variable picked up its taint for the diagnostic.
+type tracker struct {
+	pass      *analysis.Pass
+	sourcePos map[*types.Var]token.Pos
+	sourceFn  map[*types.Var]string
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	tr := &tracker{
+		pass:      pass,
+		sourcePos: map[*types.Var]token.Pos{},
+		sourceFn:  map[*types.Var]string{},
+	}
+
+	ins := cfg.Forward(g, cfg.FactSet{}, func(b *cfg.Block, in cfg.FactSet) cfg.FactSet {
+		out := in.Clone()
+		for _, s := range b.Stmts {
+			tr.applyStmt(s, out, nil)
+		}
+		if b.Cond != nil {
+			tr.killChecked(b.Cond, out)
+		}
+		return out
+	})
+
+	// Second walk with the converged in-sets: report sinks reached
+	// with taint live, re-applying statement effects in block order
+	// for intra-block precision.
+	for _, b := range g.Blocks {
+		in, ok := ins[b]
+		if !ok {
+			continue // unreachable
+		}
+		state := in.Clone()
+		for _, s := range b.Stmts {
+			tr.applyStmt(s, state, tr.reportSinks)
+		}
+		if b.Cond != nil {
+			tr.reportSinks(b.Cond, state)
+		}
+	}
+}
+
+// applyStmt updates state for one statement. When scan is non-nil it
+// is called on every expression the statement evaluates, with the
+// state as of that evaluation (the reporting walk).
+func (tr *tracker) applyStmt(s ast.Stmt, state cfg.FactSet, scan func(ast.Expr, cfg.FactSet)) {
+	visit := func(e ast.Expr) {
+		if scan != nil && e != nil {
+			scan(e, state)
+		}
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			visit(r)
+		}
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, l := range s.Lhs {
+					tr.assign(l, tr.tainted(s.Rhs[i], state), s.Rhs[i], state)
+				}
+			} else {
+				// x, y := f(): taint every LHS if the call is a source.
+				t := false
+				for _, r := range s.Rhs {
+					t = t || tr.tainted(r, state)
+				}
+				for _, l := range s.Lhs {
+					tr.assign(l, t, s.Rhs[0], state)
+				}
+			}
+		} else {
+			// Compound (+=, <<=, ...): LHS stays tainted, or becomes
+			// tainted if the RHS is.
+			for i, l := range s.Lhs {
+				if tr.tainted(s.Rhs[i], state) {
+					tr.assign(l, true, s.Rhs[i], state)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							visit(vs.Values[i])
+							tr.assign(name, tr.tainted(vs.Values[i], state), vs.Values[i], state)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		visit(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			visit(r)
+		}
+	case *ast.SendStmt:
+		visit(s.Value)
+	case *ast.IncDecStmt:
+		visit(s.X)
+	case *ast.RangeStmt:
+		// Synthetic head statement: the range operand is evaluated
+		// here; key/value vars are bounded by the range and clean.
+		visit(s.X)
+		for _, l := range []ast.Expr{s.Key, s.Value} {
+			if l != nil {
+				tr.assign(l, false, nil, state)
+			}
+		}
+	case *ast.DeferStmt:
+		visit(s.Call)
+	case *ast.GoStmt:
+		visit(s.Call)
+	case *ast.LabeledStmt:
+		tr.applyStmt(s.Stmt, state, scan)
+	}
+}
+
+// assign sets or clears the taint of the variable behind lhs. Writes
+// through non-identifier lvalues (fields, slice elements) are not
+// tracked.
+func (tr *tracker) assign(lhs ast.Expr, taint bool, rhs ast.Expr, state cfg.FactSet) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := tr.varOf(id)
+	if v == nil {
+		return
+	}
+	if taint {
+		state[v] = true
+		if _, ok := tr.sourcePos[v]; !ok && rhs != nil {
+			if pos, fn, ok := tr.firstSource(rhs, state); ok {
+				tr.sourcePos[v] = pos
+				tr.sourceFn[v] = fn
+			} else if src := tr.firstTaintedVar(rhs, state); src != nil {
+				tr.sourcePos[v] = tr.sourcePos[src]
+				tr.sourceFn[v] = tr.sourceFn[src]
+			}
+		}
+	} else {
+		delete(state, v)
+	}
+}
+
+func (tr *tracker) varOf(id *ast.Ident) *types.Var {
+	obj := tr.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = tr.pass.TypesInfo.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// tainted reports whether evaluating e yields a tainted value: it
+// contains a source call or reads a tainted variable.
+func (tr *tracker) tainted(e ast.Expr, state cfg.FactSet) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if _, ok := tr.sourceCall(n); ok {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if v := tr.varOf(n); v != nil && state[v] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sourceCall recognizes binary.LittleEndian.Uint64(...)-shaped decode
+// calls: a Uint16/Uint32/Uint64 method whose receiver resolves into
+// encoding/binary (covers the concrete endianness values and the
+// ByteOrder interface alike).
+func (tr *tracker) sourceCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return "", false
+	}
+	fn, _ := tr.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (tr *tracker) firstSource(e ast.Expr, state cfg.FactSet) (token.Pos, string, bool) {
+	var pos token.Pos
+	var fn string
+	ok := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if name, isSrc := tr.sourceCall(call); isSrc {
+				pos, fn, ok = call.Pos(), name, true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, fn, ok
+}
+
+func (tr *tracker) firstTaintedVar(e ast.Expr, state cfg.FactSet) *types.Var {
+	var found *types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := tr.varOf(id); v != nil && state[v] {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// killChecked clears the taint of every variable a branch condition
+// inspects (see the package doc for why both successors count as
+// checked).
+func (tr *tracker) killChecked(cond ast.Expr, state cfg.FactSet) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := tr.varOf(id); v != nil {
+				delete(state, v)
+			}
+		}
+		return true
+	})
+}
+
+// reportSinks walks one evaluated expression and reports every sink a
+// tainted value reaches.
+func (tr *tracker) reportSinks(e ast.Expr, state cfg.FactSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			tr.sinkCall(n, state)
+		case *ast.IndexExpr:
+			// Only sequence indexing; map lookups cannot overrun.
+			t := tr.pass.TypesInfo.TypeOf(n.X)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+					tr.reportIfTainted(n.Index, state, "index expression")
+				}
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				tr.reportIfTainted(bound, state, "slice bound")
+			}
+		}
+		return true
+	})
+}
+
+func (tr *tracker) sinkCall(call *ast.CallExpr, state cfg.FactSet) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := tr.pass.TypesInfo.Uses[fun].(*types.Builtin); ok && b.Name() == "make" {
+			for _, arg := range call.Args[1:] {
+				tr.reportIfTainted(arg, state, "make size")
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, _ := tr.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "io" && fn.Name() == "CopyN" && len(call.Args) == 3 {
+			tr.reportIfTainted(call.Args[2], state, "io.CopyN count")
+		}
+	}
+}
+
+func (tr *tracker) reportIfTainted(e ast.Expr, state cfg.FactSet, sink string) {
+	if e == nil || !tr.tainted(e, state) {
+		return
+	}
+	v := tr.firstTaintedVar(e, state)
+	desc := "a value"
+	origin := ""
+	if v != nil {
+		desc = fmt.Sprintf("%q", v.Name())
+		if pos, ok := tr.sourcePos[v]; ok {
+			p := tr.pass.Fset.Position(pos)
+			origin = fmt.Sprintf(" (decoded by binary.%s at line %d)", tr.sourceFn[v], p.Line)
+		}
+	} else if pos, fn, ok := tr.firstSource(e, state); ok {
+		p := tr.pass.Fset.Position(pos)
+		desc = fmt.Sprintf("binary.%s result", fn)
+		origin = fmt.Sprintf(" (line %d)", p.Line)
+	}
+	tr.pass.Reportf(e.Pos(),
+		"untrusted length/offset %s%s reaches %s without a bounds check on any path; validate it against the buffer or a hard limit first",
+		desc, origin, sink)
+}

@@ -1,0 +1,12 @@
+package taintlen_test
+
+import (
+	"testing"
+
+	"subtrav/internal/analysis/analysistest"
+	"subtrav/internal/analysis/taintlen"
+)
+
+func TestTaintLen(t *testing.T) {
+	analysistest.Run(t, taintlen.Analyzer, "taintlentest")
+}

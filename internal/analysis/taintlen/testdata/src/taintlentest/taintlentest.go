@@ -1,0 +1,80 @@
+// Package taintlentest exercises the taintlen analyzer: decoded
+// sizes reaching make/index/slice sinks unchecked (flagged), the
+// early-return validation idiom (clean), taint surviving loop
+// merges (flagged), and a documented suppression.
+package taintlentest
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxN = 1 << 20
+
+var errTooBig = errors.New("too big")
+
+func badMake(b []byte) []uint64 {
+	n := binary.LittleEndian.Uint64(b)
+	return make([]uint64, n) // want "reaches make size"
+}
+
+func badMakeDirect(h []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(h)) // want "reaches make size"
+}
+
+func goodMake(b []byte) ([]uint64, error) {
+	n := binary.LittleEndian.Uint64(b)
+	if n > maxN {
+		return nil, errTooBig
+	}
+	return make([]uint64, n), nil
+}
+
+func badIndex(b []byte) byte {
+	off := int(binary.LittleEndian.Uint32(b))
+	return b[off] // want "reaches index expression"
+}
+
+func goodIndex(b []byte) byte {
+	off := int(binary.LittleEndian.Uint32(b))
+	if off >= len(b) {
+		return 0
+	}
+	return b[off]
+}
+
+func badReadFull(r io.Reader, b, hdr []byte) error {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	_, err := io.ReadFull(r, b[:n]) // want "reaches slice bound"
+	return err
+}
+
+func badCopyN(dst io.Writer, src io.Reader, hdr []byte) error {
+	n := int64(binary.LittleEndian.Uint64(hdr))
+	_, err := io.CopyN(dst, src, n) // want "reaches io.CopyN count"
+	return err
+}
+
+// loopTaint: taint entering "total" inside the loop must survive the
+// loop-exit merge and reach the allocation after it.
+func loopTaint(b []byte) []int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += int(binary.LittleEndian.Uint32(b))
+	}
+	return make([]int, total) // want "reaches make size"
+}
+
+// reassignment with a clean value clears taint (strong update).
+func reassigned(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	n = 16
+	return make([]byte, n)
+}
+
+func suppressed(b []byte) []byte {
+	n := binary.LittleEndian.Uint64(b)
+	//lint:allow taintlen fixture: caller guarantees b came from a trusted local file
+	return make([]byte, n)
+}

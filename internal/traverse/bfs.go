@@ -17,6 +17,8 @@ func BFS(g *graph.Graph, q Query) (Result, *Trace) {
 // BFS is the zero-steady-state-allocation kernel: the enqueued set is
 // an epoch-stamped dense map, the frontier a reusable ring buffer, the
 // trace pooled. Pinned bit-for-bit against BFSReference.
+//
+//vet:hotpath
 func (ws *Workspace) BFS(g *graph.Graph, q Query) (Result, *Trace) {
 	ws.begin(g)
 	enqueued := &ws.scratch.mapA // membership only
@@ -80,6 +82,8 @@ type ssspState struct {
 // ssspExpand advances one frontier a hop, writing the next frontier
 // into next (reused storage) — the method form of the reference
 // kernel's expand closure, allocation-free at steady state.
+//
+//vet:hotpath
 func (ws *Workspace) ssspExpand(g *graph.Graph, q *Query, st *ssspState,
 	frontier, next []graph.VertexID, mine, accIdx, other *graph.VertexMap, depth int) []graph.VertexID {
 	for _, v := range frontier {
@@ -120,6 +124,8 @@ func (ws *Workspace) ssspExpand(g *graph.Graph, q *Query, st *ssspState,
 // BoundedSSSP is the dense-scratch kernel: per-side labels and access
 // indices live in epoch-stamped maps, frontiers in double-buffered
 // reusable slices. Pinned bit-for-bit against BoundedSSSPReference.
+//
+//vet:hotpath
 func (ws *Workspace) BoundedSSSP(g *graph.Graph, q Query) (Result, *Trace) {
 	ws.begin(g)
 

@@ -25,6 +25,8 @@ func CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
 // the visit signatures, and the cache eviction order — happens in
 // deterministic first-touch order, never map-range order. Pinned
 // bit-for-bit against CollabFilterReference.
+//
+//vet:hotpath
 func (ws *Workspace) CollabFilter(g *graph.Graph, q Query) (Result, *Trace) {
 	ws.begin(g)
 	v := q.Start

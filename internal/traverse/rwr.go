@@ -27,6 +27,8 @@ func RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
 // lives on the stack (Reseed, no per-query generator allocation), and
 // the ranking is built in the pooled result buffer. Pinned bit-for-bit
 // against RandomWalkReference.
+//
+//vet:hotpath
 func (ws *Workspace) RandomWalk(g *graph.Graph, q Query) (Result, *Trace) {
 	ws.begin(g)
 	var rng xrand.RNG

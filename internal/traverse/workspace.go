@@ -121,6 +121,8 @@ func NewWorkspaceWithScratch(s *Scratch) *Workspace {
 }
 
 // begin readies the workspace for one traversal over g.
+//
+//vet:hotpath
 func (ws *Workspace) begin(g *graph.Graph) {
 	ws.scratch.grow(g.NumVertices())
 	ws.scratch.reset()
@@ -134,6 +136,8 @@ func (ws *Workspace) begin(g *graph.Graph) {
 // touch appends a vertex record access to the pooled trace,
 // deduplicating Touched through the dense seen-set, and returns the
 // access index (mirrors Trace.touchVertex on map state).
+//
+//vet:hotpath
 func (ws *Workspace) touch(g *graph.Graph, v graph.VertexID) int {
 	t := &ws.trace
 	t.Accesses = append(t.Accesses, Access{Vertex: v, Bytes: g.VertexBytes(v)})
@@ -144,12 +148,15 @@ func (ws *Workspace) touch(g *graph.Graph, v graph.VertexID) int {
 }
 
 // ringPush appends to the BFS frontier, growing the ring on demand.
+//
+//vet:hotpath
 func (ws *Workspace) ringPush(v graph.VertexID, depth int32) {
 	if ws.ringLen == len(ws.ring) {
 		n := 2 * len(ws.ring)
 		if n < 64 {
 			n = 64
 		}
+		//lint:allow allocfree doubling growth amortizes to O(1) per push and stops once the ring reaches the frontier high-water mark
 		grown := make([]bfsItem, n)
 		for i := 0; i < ws.ringLen; i++ {
 			grown[i] = ws.ring[(ws.ringHead+i)&(len(ws.ring)-1)]
@@ -162,6 +169,8 @@ func (ws *Workspace) ringPush(v graph.VertexID, depth int32) {
 }
 
 // ringPop removes and returns the frontier head (FIFO).
+//
+//vet:hotpath
 func (ws *Workspace) ringPop() bfsItem {
 	it := ws.ring[ws.ringHead]
 	ws.ringHead = (ws.ringHead + 1) & (len(ws.ring) - 1)
