@@ -14,7 +14,10 @@
 // (internal/travbench) and writes the tracked BENCH_traverse.json
 // baseline, "graphio" runs the snapshot-loading microbenchmarks
 // (internal/graphiobench, v1 gob vs v2 flat CSR) and writes the
-// tracked BENCH_graphio.json baseline.
+// tracked BENCH_graphio.json baseline, "share" runs the cross-query
+// sharing suite (internal/sharebench, coalescing + lockstep batching
+// under Zipfian overlap) and writes the tracked BENCH_share.json
+// baseline.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"subtrav/internal/experiments"
 	"subtrav/internal/graphiobench"
 	"subtrav/internal/schedbench"
+	"subtrav/internal/sharebench"
 	"subtrav/internal/travbench"
 )
 
@@ -41,10 +45,10 @@ func main() {
 		n      = flag.Int("queries", 0, "queries per run override")
 		out    = flag.String("out", "", "benchmark report path (default BENCH_sched.json / BENCH_traverse.json per suite)")
 		par    = flag.Int("parallelism", 0, "sched benchmark: scorer row-construction goroutines (0 = sequential)")
-		check  = flag.Bool("check", false, "traverse/graphio benchmarks: fail unless the mid-size cell clears the acceptance floors")
+		check  = flag.Bool("check", false, "traverse/graphio/share benchmarks: fail unless the gated cells clear the acceptance floors")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|traverse|graphio|all\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] fig8|fig9|fig10|fig11|fig12|ablation|epsilon|warmstart|adaptive|latency|heterogeneous|layout|signature|eta|sched|traverse|graphio|share|all\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -136,6 +140,8 @@ func main() {
 			runTraverse(*quick, *check, defaultPath(*out, "BENCH_traverse.json"))
 		case "graphio":
 			runGraphio(*quick, *check, defaultPath(*out, "BENCH_graphio.json"))
+		case "share":
+			runShare(*quick, *check, defaultPath(*out, "BENCH_share.json"))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -239,6 +245,40 @@ func runGraphio(smoke, check bool, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d results, smoke=%v)\n", path, len(rep.Results), rep.Smoke)
+}
+
+// runShare executes the cross-query sharing suite (request coalescing
+// and lockstep multi-source batching under Zipfian-overlap load) and
+// writes the BENCH_share.json report. -quick maps to smoke mode
+// (reduced scenario set); -check enforces the acceptance floors —
+// bit-identical results across sharing modes and >= 2x fewer disk
+// reads/query on the gated high-concurrency cell — which hold in both
+// modes because the suite is virtual-time deterministic.
+func runShare(smoke, check bool, path string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := sharebench.Run(smoke, logf)
+	if err != nil {
+		fatal(err)
+	}
+	if check {
+		if err := rep.CheckThresholds(sharebench.MinReadsRatio); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios, smoke=%v)\n", path, len(rep.Scenarios), rep.Smoke)
 }
 
 // defaultPath resolves the -out flag per suite.

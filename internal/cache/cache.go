@@ -133,11 +133,14 @@ func (c *Cache) pushFront(e *entry) {
 }
 
 // Access records a read of record k with the given size. If resident,
-// the record is refreshed (LRU touch) and Access reports a hit. If
-// absent, it is loaded — charging BytesLoaded, evicting LRU records
-// past the budget — and Access reports a miss. A record larger than
-// the whole budget is still admitted alone (the unit cannot traverse
-// without it) and evicts everything else.
+// the record is refreshed (LRU touch) and Access reports a hit; when
+// the caller's size differs from the resident one (a record that grew
+// or shrank since it was loaded), the entry is resized in place,
+// `used` is adjusted by the delta, and eviction re-runs so the budget
+// holds again. If absent, it is loaded — charging BytesLoaded,
+// evicting LRU records past the budget — and Access reports a miss. A
+// record larger than the whole budget is still admitted alone (the
+// unit cannot traverse without it) and evicts everything else.
 func (c *Cache) Access(k Key, size int64) (hit bool) {
 	if size < 0 {
 		panic(fmt.Sprintf("cache: negative record size %d", size))
@@ -147,6 +150,11 @@ func (c *Cache) Access(k Key, size int64) (hit bool) {
 		sink(c.sinks.Hits, 1)
 		c.unlink(e)
 		c.pushFront(e)
+		if size != e.size {
+			c.used += size - e.size
+			e.size = size
+			c.evictOverBudget(e)
+		}
 		return true
 	}
 	c.stats.Misses++

@@ -139,6 +139,58 @@ func TestHitRate(t *testing.T) {
 	}
 }
 
+// Regression: the hit path used to ignore `size`, so a record
+// re-accessed with a drifted size left `used` permanently wrong and
+// the budget silently violated.
+func TestHitResizesDriftedRecord(t *testing.T) {
+	c := New(100)
+	c.Access(VertexKey(1), 40)
+	c.Access(VertexKey(2), 40)
+	if got := c.Used(); got != 80 {
+		t.Fatalf("used = %d, want 80", got)
+	}
+
+	// Shrink on hit: used must drop with it.
+	if hit := c.Access(VertexKey(1), 10); !hit {
+		t.Fatal("resized access should still hit")
+	}
+	if got := c.Used(); got != 50 {
+		t.Errorf("used after shrink = %d, want 50", got)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("shrink must not evict, got %d evictions", c.Stats().Evictions)
+	}
+
+	// Grow on hit past the budget (10 + 95 = 105 > 100): eviction must
+	// re-run and the grown record (just touched, so most recent) must
+	// survive.
+	if hit := c.Access(VertexKey(2), 95); !hit {
+		t.Fatal("resized access should still hit")
+	}
+	if c.Contains(VertexKey(1)) {
+		t.Error("LRU record should be evicted when a hit record grows past the budget")
+	}
+	if !c.Contains(VertexKey(2)) {
+		t.Error("grown record must survive its own resize eviction")
+	}
+	if got := c.Used(); got != 95 {
+		t.Errorf("used after grow = %d, want 95", got)
+	}
+	if got := c.Stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+
+	// Same-size hit keeps the fast path: nothing changes.
+	c.Access(VertexKey(2), 95)
+	if got := c.Used(); got != 95 {
+		t.Errorf("used after same-size hit = %d, want 95", got)
+	}
+	// BytesLoaded only counts genuine loads, never hit-path resizes.
+	if got := c.Stats().BytesLoaded; got != 80 {
+		t.Errorf("bytes loaded = %d, want 80", got)
+	}
+}
+
 func TestNegativeSizePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -149,7 +201,9 @@ func TestNegativeSizePanics(t *testing.T) {
 }
 
 // Property: used bytes always equal the sum of resident record sizes
-// and never exceed the budget (when all records fit individually).
+// and never exceed the budget (when all records fit individually) —
+// even when a record's size drifts between accesses, exercising the
+// hit-path resize.
 func TestInvariantsQuick(t *testing.T) {
 	f := func(seed uint64, ops uint16) bool {
 		rng := xrand.New(seed)
@@ -159,11 +213,7 @@ func TestInvariantsQuick(t *testing.T) {
 		for i := 0; i < int(ops)%500+1; i++ {
 			k := VertexKey(int32(rng.Intn(50)))
 			size := int64(rng.Intn(40) + 1) // always < budget
-			if prior, ok := sizes[k]; ok {
-				size = prior // same record always has the same size
-			} else {
-				sizes[k] = size
-			}
+			sizes[k] = size                 // hit path adopts the new size
 			c.Access(k, size)
 			if c.Used() > budget {
 				return false

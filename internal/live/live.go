@@ -34,6 +34,7 @@ import (
 	"subtrav/internal/sched"
 	"subtrav/internal/signature"
 	"subtrav/internal/sim"
+	"subtrav/internal/storage"
 	"subtrav/internal/traverse"
 )
 
@@ -96,6 +97,25 @@ type Config struct {
 	// (see Runtime.Trace). Zero disables span capture; the metrics
 	// registry (Runtime.Registry) is always on.
 	TraceBuffer int
+
+	// CoalesceReads, when true, routes buffer misses through a
+	// single-flight fetch table shared by every unit
+	// (storage.FetchGroup): concurrent misses on the same record
+	// across units collapse into one shared-disk fetch, whose outcome
+	// — including an injected fault error — fans out to every waiter.
+	// The shared fetch is bound to the runtime's lifetime, so one
+	// waiter's cancellation never poisons its peers. Results are
+	// unaffected; only disk traffic and timing change.
+	CoalesceReads bool
+	// BatchTraversals, when > 1, lets a worker drain up to that many
+	// consecutive batchable queries (BFS/SSSP) off its queue and
+	// advance them in lockstep, loading each wave-shared record once
+	// (traverse.Batch). Per-query results stay identical to
+	// independent execution. At most traverse.MaxBatch; 0 or 1
+	// disables. Each unit owns a private batch executor, so memory
+	// grows by O(BatchTraversals·|V|) per unit in the worst (SSSP)
+	// case.
+	BatchTraversals int
 }
 
 func (c *Config) validate() error {
@@ -143,6 +163,9 @@ func (c *Config) validate() error {
 	}
 	if c.TraceBuffer < 0 {
 		return fmt.Errorf("live: TraceBuffer = %d, want >= 0", c.TraceBuffer)
+	}
+	if c.BatchTraversals < 0 || c.BatchTraversals > traverse.MaxBatch {
+		return fmt.Errorf("live: BatchTraversals = %d, want [0, %d]", c.BatchTraversals, traverse.MaxBatch)
 	}
 	zero := sim.CostModel{}
 	if c.Cost == zero {
@@ -246,6 +269,15 @@ type Runtime struct {
 	// allocating per-query maps.
 	wsPool *traverse.Pool
 
+	// fetch is the cross-unit single-flight table (nil unless
+	// Config.CoalesceReads). Shared fetches run under fetchCtx — a
+	// runtime-lifetime context cancelled by Close after the drain — so
+	// no submitter's context can abort a fetch other units are joined
+	// to.
+	fetch       *storage.FetchGroup
+	fetchCtx    context.Context
+	fetchCancel context.CancelFunc
+
 	mu       sync.Mutex
 	sched    sched.Scheduler
 	pending  []*task
@@ -275,6 +307,10 @@ type liveUnit struct {
 
 	queued atomic.Int32
 	busy   atomic.Bool
+
+	// batch is the unit's lockstep multi-query executor, nil unless
+	// Config.BatchTraversals enables batching. Worker goroutine only.
+	batch *traverse.Batch
 
 	// cacheCounters mirror the buffer's activity atomically (via
 	// cache.Sinks) so Stats and /metrics can read them while hot.
@@ -358,15 +394,25 @@ func newWithSigs(g *graph.Graph, cfg Config, scheduler sched.Scheduler, sigs *si
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 	}
+	// Shared fetches and batch charging outlive any one submitter, so
+	// they run under a runtime-lifetime context rather than a caller's.
+	r.fetchCtx, r.fetchCancel = context.WithCancel(context.Background())
 	r.obs = newRuntimeObs(r, cfg.TraceBuffer)
 	if reg, ok := scheduler.(schedulerRegistrar); ok {
 		reg.Register(r.obs.reg)
+	}
+	if cfg.CoalesceReads {
+		r.fetch = storage.NewFetchGroup()
+		r.fetch.SetMetrics(r.obs.coalescedReads, r.obs.sfWaiters)
 	}
 	for i := 0; i < cfg.NumUnits; i++ {
 		u := &liveUnit{
 			id:     int32(i),
 			buffer: cache.New(cfg.MemoryPerUnit),
 			queue:  make(chan *task, cfg.QueueCap),
+		}
+		if cfg.BatchTraversals > 1 {
+			u.batch = traverse.NewBatch(g.NumVertices())
 		}
 		u.buffer.SetSinks(r.obs.wireUnit(u))
 		r.units = append(r.units, u)
@@ -628,6 +674,9 @@ func (r *Runtime) Close() error {
 	}
 	close(r.stop)
 	r.wg.Wait()
+	// Drained: no worker is executing, so cancelling the fetch context
+	// cannot fail a query; it only releases any leaked shared fetch.
+	r.fetchCancel()
 	return nil
 }
 
@@ -875,14 +924,17 @@ func (r *Runtime) enqueueLeastLoaded(t *task) bool {
 	return false
 }
 
-// worker executes tasks on one unit, paying scaled access costs.
+// worker executes tasks on one unit, paying scaled access costs. With
+// batching enabled it drains runs of consecutive batchable queries off
+// the queue and advances them in lockstep.
 func (r *Runtime) worker(u *liveUnit) {
 	defer r.wg.Done()
 	for t := range u.queue {
 		u.queued.Add(-1)
 
 		// Injected dequeue fault: a stalled (Delay) or transiently
-		// failing (Err) unit.
+		// failing (Err) unit. Evaluated once per wake; a batch drained
+		// behind this task rides the same evaluation.
 		fault := r.cfg.Faults.Eval(faultpoint.Dequeue)
 		if fault.Delay > 0 {
 			time.Sleep(fault.Delay)
@@ -904,24 +956,202 @@ func (r *Runtime) worker(u *liveUnit) {
 			continue
 		}
 
-		u.busy.Store(true)
-		t.started = time.Now()
-		if t.span != nil {
-			t.span.StartNanos = t.started.UnixNano()
+		if u.batch != nil && traverse.Batchable(t.query.Op) {
+			members, carry := r.drainBatch(u, t)
+			r.runBatch(u, members)
+			if carry != nil {
+				r.runOne(u, carry)
+			}
+			continue
 		}
-		resp := r.execute(u, t)
-		u.busy.Store(false)
+		r.runOne(u, t)
+	}
+}
 
-		o := outcomeCompleted
-		if resp.Err != nil && (errors.Is(resp.Err, context.DeadlineExceeded) || errors.Is(resp.Err, context.Canceled)) {
-			o = outcomeTimedOut
-		} else {
-			now := time.Now().UnixNano()
-			u.mu.Lock()
-			u.completions = append(u.completions, now)
-			u.mu.Unlock()
+// runOne executes a single task and resolves it.
+func (r *Runtime) runOne(u *liveUnit, t *task) {
+	u.busy.Store(true)
+	t.started = time.Now()
+	if t.span != nil {
+		t.span.StartNanos = t.started.UnixNano()
+	}
+	resp := r.execute(u, t)
+	u.busy.Store(false)
+	r.resolve(u, t, resp)
+}
+
+// resolve classifies a response, records the unit completion for
+// non-timeouts, and finishes the task.
+func (r *Runtime) resolve(u *liveUnit, t *task, resp Response) {
+	o := outcomeCompleted
+	if resp.Err != nil && (errors.Is(resp.Err, context.DeadlineExceeded) || errors.Is(resp.Err, context.Canceled)) {
+		o = outcomeTimedOut
+	} else {
+		now := time.Now().UnixNano()
+		u.mu.Lock()
+		u.completions = append(u.completions, now)
+		u.mu.Unlock()
+	}
+	r.finish(t, resp, o)
+}
+
+// drainBatch pulls up to Config.BatchTraversals-1 more batchable tasks
+// off u's queue without blocking, starting from first. A non-batchable
+// task ends the run and is returned as carry for ordinary execution
+// (FIFO order is preserved: it queued after every member).
+func (r *Runtime) drainBatch(u *liveUnit, first *task) (members []*task, carry *task) {
+	members = append(members, first)
+	for len(members) < r.cfg.BatchTraversals {
+		select {
+		case t, ok := <-u.queue:
+			if !ok {
+				return members, nil
+			}
+			u.queued.Add(-1)
+			if !traverse.Batchable(t.query.Op) {
+				return members, t
+			}
+			members = append(members, t)
+		default:
+			return members, nil
 		}
-		r.finish(t, resp, o)
+	}
+	return members, nil
+}
+
+// runBatch advances members' traversals in lockstep (traverse.Batch),
+// charging the batch's shared wave trace once — each wave-shared
+// record is loaded one time for the whole batch — and resolves every
+// member. Per-member results are identical to independent execution.
+// A member whose context expires mid-charge resolves immediately as
+// timed out while the rest of the batch keeps running; disk charging
+// is therefore bound to the runtime's fetch context, not to any single
+// member's.
+func (r *Runtime) runBatch(u *liveUnit, members []*task) {
+	// Members already expired resolve without consuming execution.
+	live := members[:0]
+	for _, t := range members {
+		if err := t.ctx.Err(); err != nil {
+			r.finish(t, Response{
+				Unit: u.id,
+				Err:  fmt.Errorf("live: dropped at dequeue: %w", err),
+				Wait: time.Since(t.submit),
+			}, outcomeTimedOut)
+			continue
+		}
+		live = append(live, t)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 {
+		r.runOne(u, live[0])
+		return
+	}
+
+	u.busy.Store(true)
+	defer u.busy.Store(false)
+	started := time.Now()
+	queries := make([]traverse.Query, len(live))
+	for i, t := range live {
+		t.started = started
+		if t.span != nil {
+			t.span.StartNanos = started.UnixNano()
+		}
+		queries[i] = t.query
+	}
+	results, traces, shared, err := u.batch.Run(r.g, queries)
+	if err != nil {
+		for _, t := range live {
+			r.resolve(u, t, Response{Unit: u.id, Err: err, Wait: started.Sub(t.submit)})
+		}
+		return
+	}
+
+	cost := &r.cfg.Cost
+	var inlineNanos int64
+	var hits, misses int
+	var bytesRead, diskWaitNanos int64
+	var fatal error
+	alive := len(live)
+	resolved := make([]bool, len(live))
+	// dropExpired resolves members whose deadline passed mid-charge;
+	// the survivors keep the batch going.
+	dropExpired := func() {
+		for i, t := range live {
+			if resolved[i] {
+				continue
+			}
+			if err := t.ctx.Err(); err != nil {
+				resolved[i] = true
+				alive--
+				r.finish(t, Response{
+					Unit: u.id,
+					Err:  fmt.Errorf("live: cancelled mid-traversal: %w", err),
+					Wait: started.Sub(t.submit),
+					Exec: time.Since(started),
+				}, outcomeTimedOut)
+			}
+		}
+	}
+	for _, a := range shared.Accesses {
+		dropExpired()
+		if alive == 0 {
+			break
+		}
+		key := liveKey(a)
+		if u.buffer.Contains(key) {
+			u.buffer.Access(key, int64(a.Bytes))
+			hits++
+			inlineNanos += cost.MemHitNanos + liveCPU(cost, a)
+			continue
+		}
+		slotWait, err := r.fetchMiss(r.fetchCtx, key, int64(a.Bytes))
+		diskWaitNanos += slotWait.Nanoseconds()
+		if err != nil {
+			fatal = err
+			break
+		}
+		u.buffer.Access(key, int64(a.Bytes))
+		misses++
+		bytesRead += int64(a.Bytes)
+		inlineNanos += liveCPU(cost, a) + int64(cost.CPUMissByteNanos*float64(a.Bytes))
+	}
+	if fatal == nil && alive > 0 {
+		fatal = r.sleepScaledNoSlot(r.fetchCtx, inlineNanos, 0)
+	}
+
+	now := time.Now()
+	for i, t := range live {
+		if resolved[i] {
+			continue
+		}
+		// The batch's shared charge is the execution detail of every
+		// member: the disk work really done on their behalf.
+		if s := t.span; s != nil {
+			s.CacheHits = hits
+			s.CacheMisses = misses
+			s.BytesRead = bytesRead
+			s.DiskWaitNanos = diskWaitNanos
+		}
+		if fatal != nil {
+			r.resolve(u, t, Response{
+				Unit: u.id,
+				Err:  fmt.Errorf("live: batch charge failed: %w", fatal),
+				Wait: started.Sub(t.submit),
+				Exec: now.Sub(started),
+			})
+			continue
+		}
+		for _, v := range traces[i].Touched {
+			r.sigs.Record(v, u.id, now.UnixNano())
+		}
+		r.resolve(u, t, Response{
+			Result: results[i].Clone(),
+			Unit:   u.id,
+			Wait:   started.Sub(t.submit),
+			Exec:   now.Sub(started),
+		})
 	}
 }
 
@@ -974,27 +1204,21 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 			inlineNanos += cost.MemHitNanos + liveCPU(cost, a)
 			continue
 		}
-		// Miss: occupy one disk channel for the scaled transfer time,
-		// plus any injected latency spike. A transient injected error
-		// gets one internal retry before failing the query.
-		fault := r.cfg.Faults.Eval(faultpoint.DiskRead)
-		if fault.Err != nil {
-			r.counters.DiskFaultRetries.Add(1)
-			fault = r.cfg.Faults.Eval(faultpoint.DiskRead)
-			if fault.Err != nil {
-				return Response{
-					Unit: u.id,
-					Err:  fmt.Errorf("live: disk read failed after retry: %w", fault.Err),
-					Wait: t.started.Sub(t.submit),
-					Exec: time.Since(t.started),
-				}
-			}
-		}
-		service := cost.Disk.SeekNanos + int64(a.Bytes)*1_000_000_000/cost.Disk.BytesPerSecond
-		slotWait, err := r.sleepScaled(t.ctx, service, fault.Delay)
+		// Miss: one shared-disk fetch (see fetchMiss). With coalescing
+		// on, this may join another unit's in-flight fetch of the same
+		// record instead of paying its own.
+		slotWait, err := r.fetchMiss(t.ctx, key, int64(a.Bytes))
 		diskWaitNanos += slotWait.Nanoseconds()
 		if err != nil {
-			return cancelled(err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return cancelled(err)
+			}
+			return Response{
+				Unit: u.id,
+				Err:  err,
+				Wait: t.started.Sub(t.submit),
+				Exec: time.Since(t.started),
+			}
 		}
 		u.buffer.Access(key, int64(a.Bytes))
 		misses++
@@ -1015,6 +1239,46 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 		Wait:   t.started.Sub(t.submit),
 		Exec:   now.Sub(t.started),
 	}
+}
+
+// fetchMiss pays for one missed record. Without coalescing it is a
+// direct disk fetch under the caller's context. With coalescing
+// (Config.CoalesceReads) the miss goes through the single-flight
+// table: concurrent misses on the same key across units collapse into
+// one fetch, run under the runtime-lifetime fetch context so that no
+// waiter's cancellation can abort it for the others; a cancelled
+// waiter gets its own context error back while the fetch completes,
+// and a fetch failure fans out to every waiter exactly once each.
+// slotWait is the wall time blocked before the record was available
+// (slot queueing, or the wait on another unit's fetch).
+func (r *Runtime) fetchMiss(ctx context.Context, key cache.Key, bytes int64) (slotWait time.Duration, err error) {
+	if r.fetch == nil {
+		return r.diskFetch(ctx, bytes)
+	}
+	t0 := time.Now()
+	_, err = r.fetch.Do(ctx, key, func() error {
+		_, ferr := r.diskFetch(r.fetchCtx, bytes)
+		return ferr
+	})
+	return time.Since(t0), err
+}
+
+// diskFetch is one shared-disk read: fault evaluation with one
+// internal retry, then a disk slot held for the scaled transfer time
+// plus any injected latency spike. A persistent injected error is
+// returned wrapped (not a context error); a context error means ctx
+// ended first.
+func (r *Runtime) diskFetch(ctx context.Context, bytes int64) (time.Duration, error) {
+	fault := r.cfg.Faults.Eval(faultpoint.DiskRead)
+	if fault.Err != nil {
+		r.counters.DiskFaultRetries.Add(1)
+		fault = r.cfg.Faults.Eval(faultpoint.DiskRead)
+		if fault.Err != nil {
+			return 0, fmt.Errorf("live: disk read failed after retry: %w", fault.Err)
+		}
+	}
+	service := r.cfg.Cost.Disk.SeekNanos + storage.TransferNanos(bytes, r.cfg.Cost.Disk.BytesPerSecond)
+	return r.sleepScaled(ctx, service, fault.Delay)
 }
 
 // sleepScaled holds a disk slot while sleeping the scaled duration

@@ -64,19 +64,29 @@ func NewCluster(g *graph.Graph, cfg Config) (*Cluster, error) {
 	// All units borrow one dense traversal scratch: the event loop
 	// executes kernels one at a time, and sharing keeps cluster memory
 	// at O(|V|) instead of O(P·|V|) (the paper-scale graph is 11.3M
-	// vertices). Traces and results live in per-unit buffers.
+	// vertices). Traces and results live in per-unit buffers. The
+	// batch scratch is shared the same way when lockstep batching is
+	// on (its per-slot SSSP maps are the O(K·|V|) part of the bill).
 	scratch := traverse.NewScratch(g.NumVertices())
+	var batchScratch *traverse.BatchScratch
+	if cfg.BatchTraversals > 1 {
+		batchScratch = traverse.NewBatchScratch(g.NumVertices())
+	}
 	for i := 0; i < cfg.NumUnits; i++ {
 		speed := 1.0
 		if cfg.SpeedFactors != nil {
 			speed = cfg.SpeedFactors[i]
 		}
-		c.units = append(c.units, &unit{
+		u := &unit{
 			id:     int32(i),
 			buffer: cache.New(cfg.MemoryPerUnit),
 			ws:     traverse.NewWorkspaceWithScratch(scratch),
 			speed:  speed,
-		})
+		}
+		if batchScratch != nil {
+			u.batch = traverse.NewBatchWithScratch(batchScratch)
+		}
+		c.units = append(c.units, u)
 	}
 	return c, nil
 }
@@ -213,34 +223,69 @@ func (c *Cluster) hasDispatchRoom() bool {
 	return false
 }
 
-// startNext pops the unit's FCFS queue and begins trace replay.
+// startNext pops the unit's FCFS queue — plus, when lockstep batching
+// is on, the contiguous run of batchable queries behind a batchable
+// head — and begins trace replay.
 func (c *Cluster) startNext(u *unit, now int64) {
 	ts := u.queue[0]
 	u.queue = u.queue[1:]
-	u.cur = ts
-	ts.start = now
+	ex := &execState{members: []*taskState{ts}, start: now}
+	if b := c.cfg.BatchTraversals; b > 1 && u.batch != nil && traverse.Batchable(ts.task.Query.Op) {
+		for len(ex.members) < b && len(u.queue) > 0 && traverse.Batchable(u.queue[0].task.Query.Op) {
+			ex.members = append(ex.members, u.queue[0])
+			u.queue = u.queue[1:]
+		}
+	}
+	u.cur = ex
 	u.lastStart = now
 	if c.tracer != nil {
-		c.tracer.TaskStarted(ts.task.ID, u.id, now)
+		for _, m := range ex.members {
+			c.tracer.TaskStarted(m.task.ID, u.id, now)
+		}
 	}
 
 	// The set of records a traversal touches is timing-independent
-	// (see package traverse), so the trace is computed here and then
-	// replayed against the buffer and shared disk for its cost. The
-	// unit's workspace is recycled per task: by the time this runs, the
-	// unit's previous trace and result were fully consumed by complete.
-	result, trace, err := traverse.ExecuteIn(u.ws, c.g, ts.task.Query)
-	if err != nil {
-		// Queries are validated at Run entry; an error here is a bug.
-		panic(fmt.Sprintf("sim: traversal failed mid-run: %v", err))
+	// (see package traverse), so the traces are computed here and then
+	// replayed against the buffer and shared disk for their cost. The
+	// unit's workspace (and batch executor) is recycled per start: by
+	// the time this runs, the unit's previous traces and results were
+	// fully consumed by complete.
+	if len(ex.members) == 1 {
+		result, trace, err := traverse.ExecuteIn(u.ws, c.g, ts.task.Query)
+		if err != nil {
+			// Queries are validated at Run entry; an error here is a bug.
+			panic(fmt.Sprintf("sim: traversal failed mid-run: %v", err))
+		}
+		if c.OnComplete != nil {
+			// The callback may retain the result past this unit's next
+			// task, which recycles the workspace-owned slices; detach
+			// them.
+			result = result.Clone()
+		}
+		ts.result = result
+		ts.trace = trace
+		ex.replay = trace
+	} else {
+		queries := make([]traverse.Query, len(ex.members))
+		for i, m := range ex.members {
+			queries[i] = m.task.Query
+		}
+		results, traces, shared, err := u.batch.Run(c.g, queries)
+		if err != nil {
+			panic(fmt.Sprintf("sim: batched traversal failed mid-run: %v", err))
+		}
+		for i, m := range ex.members {
+			res := results[i]
+			if c.OnComplete != nil {
+				res = res.Clone()
+			}
+			m.result = res
+			m.trace = traces[i]
+		}
+		// The shared wave trace is what the batch actually pays for:
+		// each wave-shared record loaded once.
+		ex.replay = shared
 	}
-	if c.OnComplete != nil {
-		// The callback may retain the result past this unit's next
-		// task, which recycles the workspace-owned slices; detach them.
-		result = result.Clone()
-	}
-	ts.result = result
-	ts.trace = trace
 	c.step(u, now)
 }
 
@@ -249,16 +294,16 @@ func (c *Cluster) startNext(u *unit, now int64) {
 // at the current virtual instant issues one shared-disk read and
 // yields, so disk requests across units are serviced in causal order.
 func (c *Cluster) step(u *unit, now int64) {
-	ts := u.cur
+	ex := u.cur
 	cost := &c.cfg.Cost
 	tl := now
-	for ts.pos < len(ts.trace.Accesses) {
-		a := ts.trace.Accesses[ts.pos]
+	for ex.pos < len(ex.replay.Accesses) {
+		a := ex.replay.Accesses[ex.pos]
 		key := accessKey(a)
 		if u.buffer.Contains(key) {
 			u.buffer.Access(key, int64(a.Bytes))
 			tl += int64(float64(cost.MemHitNanos+cpuCost(cost, a)) * u.speed)
-			ts.pos++
+			ex.pos++
 			continue
 		}
 		if tl > now {
@@ -267,14 +312,22 @@ func (c *Cluster) step(u *unit, now int64) {
 			c.push(event{time: tl, kind: evStep, unit: u.id})
 			return
 		}
-		done := c.disk.ReadPart(now, int64(a.Bytes), c.g.Partition(a.Vertex))
-		ts.misses++
+		var done int64
+		if c.cfg.CoalesceReads {
+			// Join an in-flight read of the same record when one
+			// exists; a coalesced miss pays the leader's completion
+			// time but issues no request of its own.
+			done, _ = c.disk.ReadShared(now, int64(a.Bytes), c.g.Partition(a.Vertex), key)
+		} else {
+			done = c.disk.ReadPart(now, int64(a.Bytes), c.g.Partition(a.Vertex))
+		}
+		ex.misses++
 		u.buffer.Access(key, int64(a.Bytes))
 		// The paper updates L(v) as vertices are visited, so a miss
 		// signs the vertex immediately — concurrent scheduling rounds
 		// can already see the partially-built affinity.
 		c.sigs.Record(a.Vertex, u.id, now)
-		ts.pos++
+		ex.pos++
 		localWork := float64(cpuCost(cost, a)) + cost.CPUMissByteNanos*float64(a.Bytes)
 		next := done + int64(localWork*u.speed)
 		c.push(event{time: next, kind: evStep, unit: u.id})
@@ -297,29 +350,33 @@ func accessKey(a traverse.Access) cache.Key {
 	return cache.VertexKey(int32(a.Vertex))
 }
 
-// complete finishes the unit's current task: visit signatures are
-// recorded for every touched vertex (L(v) ← L(v) ∪ (t, p)), run
-// statistics are updated, and the next queued task starts.
+// complete finishes every member of the unit's current batch: visit
+// signatures are recorded for each member's touched vertices
+// (L(v) ← L(v) ∪ (t, p)), run statistics are updated per member, and
+// the next queued task starts. A batch's disk-miss count is reported
+// to the tracer on each member (the batch paid it jointly).
 func (c *Cluster) complete(u *unit, now int64) {
-	ts := u.cur
+	ex := u.cur
 	u.cur = nil
-	for _, v := range ts.trace.Touched {
-		c.sigs.Record(v, u.id, now)
+	for _, ts := range ex.members {
+		for _, v := range ts.trace.Touched {
+			c.sigs.Record(v, u.id, now)
+		}
+		u.completions = append(u.completions, now)
+		c.completed++
+		c.visitedTotal += int64(ts.result.Visited)
+		c.latencies = append(c.latencies, now-ts.task.Arrival)
+		c.execNanos = append(c.execNanos, now-ex.start)
+		if c.tracer != nil {
+			c.tracer.TaskCompleted(ts.task.ID, u.id, now, ex.misses)
+		}
+		if c.OnComplete != nil {
+			c.OnComplete(ts.task, ts.result)
+		}
 	}
-	u.completions = append(u.completions, now)
-	u.busyNanos += now - ts.start
-	c.completed++
-	c.visitedTotal += int64(ts.result.Visited)
-	c.latencies = append(c.latencies, now-ts.task.Arrival)
-	c.execNanos = append(c.execNanos, now-ts.start)
+	u.busyNanos += now - ex.start
 	if now > c.lastComplete {
 		c.lastComplete = now
-	}
-	if c.tracer != nil {
-		c.tracer.TaskCompleted(ts.task.ID, u.id, now, ts.misses)
-	}
-	if c.OnComplete != nil {
-		c.OnComplete(ts.task, ts.result)
 	}
 	if len(u.queue) > 0 {
 		c.startNext(u, now)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"subtrav/internal/storage"
+	"subtrav/internal/traverse"
 )
 
 // CostModel fixes the virtual-time cost of every operation. All costs
@@ -83,6 +84,20 @@ type Config struct {
 	// heterogeneous / partially-degraded deployments that make
 	// workload balance adaptive rather than static.
 	SpeedFactors []float64
+
+	// CoalesceReads, when true, lets a buffer miss join an in-flight
+	// shared-disk read of the same record instead of issuing its own
+	// (storage.Disk.ReadShared) — the virtual-time analogue of the
+	// live runtime's single-flight fetch table. Results are unaffected;
+	// only disk traffic and timing change.
+	CoalesceReads bool
+	// BatchTraversals, when > 1, lets a unit pull up to that many
+	// consecutive batchable queries (BFS/SSSP) off its queue and
+	// advance them in lockstep, loading each wave-shared record once
+	// (traverse.Batch). Per-query results stay bit-identical to
+	// independent execution. At most traverse.MaxBatch; 0 or 1
+	// disables.
+	BatchTraversals int
 }
 
 // Validate checks the configuration, applying defaults for zero-valued
@@ -104,6 +119,9 @@ func (c *Config) Validate() error {
 		if f <= 0 {
 			return fmt.Errorf("sim: speed factor %d = %g, want > 0", i, f)
 		}
+	}
+	if c.BatchTraversals < 0 || c.BatchTraversals > traverse.MaxBatch {
+		return fmt.Errorf("sim: BatchTraversals = %d, want [0, %d]", c.BatchTraversals, traverse.MaxBatch)
 	}
 	zero := CostModel{}
 	if c.Cost == zero {

@@ -8,30 +8,44 @@ import (
 	"subtrav/internal/traverse"
 )
 
-// taskState is a task with its precomputed access trace and replay
-// cursor.
+// taskState is a task with its precomputed per-query result and
+// access trace.
 type taskState struct {
 	task   *sched.Task
 	result traverse.Result
 	trace  *traverse.Trace
-	pos    int   // next access to replay
-	start  int64 // virtual time execution began
-	misses int   // shared-disk fetches so far
+}
+
+// execState is one executing batch — usually of size one. members
+// carry the per-query results and traces; replay is the trace actually
+// charged against the buffer and shared disk: a solo member's own
+// trace, or the batch's shared wave trace (each wave-shared record
+// loaded once — see traverse.Batch).
+type execState struct {
+	members []*taskState
+	replay  *traverse.Trace
+	pos     int   // next replay access
+	start   int64 // virtual time execution began
+	misses  int   // shared-disk fetches so far (whole batch)
 }
 
 // unit is one processing unit: a private buffer, a FCFS queue, and at
-// most one executing task.
+// most one executing task batch.
 type unit struct {
 	id     int32
 	buffer *cache.Cache
 	queue  []*taskState
-	cur    *taskState
+	cur    *execState
 	// ws is the unit's reusable traversal workspace. Its private
 	// buffers hold the in-flight task's trace across replay events, so
 	// they are only recycled by the unit's own next startNext — after
 	// complete has consumed them. The O(|V|) dense scratch inside is
 	// shared cluster-wide: the event loop runs one traversal at a time.
 	ws *traverse.Workspace
+	// batch is the unit's multi-source executor, nil unless
+	// Config.BatchTraversals enables lockstep batches. Its outputs
+	// follow the same recycle discipline as ws.
+	batch *traverse.Batch
 	// speed multiplies the unit's compute and hit costs (1 = nominal).
 	speed float64
 
@@ -63,11 +77,12 @@ func (u *unit) CompletedSince(t int64) int {
 // MemoryBudget implements affinity.UnitView.
 func (u *unit) MemoryBudget() int64 { return u.buffer.Budget() }
 
-// effectiveLoad counts queued plus executing tasks.
+// effectiveLoad counts queued plus executing tasks (every member of
+// an executing batch counts).
 func (u *unit) effectiveLoad() int {
 	l := len(u.queue)
 	if u.cur != nil {
-		l++
+		l += len(u.cur.members)
 	}
 	return l
 }

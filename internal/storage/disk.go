@@ -12,7 +12,10 @@ package storage
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
+	"subtrav/internal/cache"
 	"subtrav/internal/faultpoint"
 	"subtrav/internal/obs"
 )
@@ -62,6 +65,33 @@ func (c DiskConfig) Validate() error {
 	return nil
 }
 
+// TransferNanos returns the time to move `bytes` at `bytesPerSecond`,
+// in nanoseconds, saturating at math.MaxInt64. The naive formula
+// bytes*1e9/bytesPerSecond overflows int64 once bytes exceeds ~9.2 GB
+// (bytes*1e9 > 2^63-1) and yields negative service times; this is the
+// single overflow-safe implementation shared by the virtual disk model
+// and the live runtime's scaled sleeps. Non-positive bytes cost
+// nothing; a non-positive rate is treated as infinitely slow only in
+// the degenerate sense that callers validate it away — we return 0 to
+// stay total.
+func TransferNanos(bytes, bytesPerSecond int64) int64 {
+	if bytes <= 0 || bytesPerSecond <= 0 {
+		return 0
+	}
+	// Full 128-bit product bytes*1e9, then one 128/64 division.
+	hi, lo := bits.Mul64(uint64(bytes), 1_000_000_000)
+	bps := uint64(bytesPerSecond)
+	if hi >= bps {
+		// Quotient would not fit in 64 bits (bits.Div64 panics).
+		return math.MaxInt64
+	}
+	q, _ := bits.Div64(hi, lo, bps)
+	if q > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(q)
+}
+
 // Stats aggregates disk activity.
 type Stats struct {
 	Requests  int64
@@ -78,6 +108,10 @@ type Stats struct {
 	// fault (see Disk.SetFaults) and the virtual latency it added.
 	FaultedReads int64
 	FaultNanos   int64
+	// CoalescedReads counts requests that joined an in-flight read of
+	// the same record instead of issuing their own (see ReadShared);
+	// they charge no channel time, bytes, or request.
+	CoalescedReads int64
 }
 
 // Metrics mirrors disk activity into an obs registry. The counters
@@ -88,6 +122,9 @@ type Metrics struct {
 	BytesRead  *obs.Counter
 	QueueNanos *obs.Counter
 	LocalSeeks *obs.Counter
+	// Coalesced counts reads that joined an in-flight fetch of the
+	// same record (see ReadShared). May be nil on hand-built Metrics.
+	Coalesced *obs.Counter
 	// Depth is the instantaneous number of busy channels observed at
 	// the last request.
 	Depth *obs.Gauge
@@ -100,6 +137,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		BytesRead:  reg.Counter("subtrav_disk_bytes_read_total", "Bytes fetched from the shared disk."),
 		QueueNanos: reg.Counter("subtrav_disk_queue_nanos_total", "Virtual nanoseconds requests spent waiting for a free channel."),
 		LocalSeeks: reg.Counter("subtrav_disk_local_seeks_total", "Reads that paid the reduced same-partition seek."),
+		Coalesced:  reg.Counter("subtrav_disk_coalesced_reads_total", "Reads avoided by joining an in-flight fetch of the same record."),
 		Depth:      reg.Gauge("subtrav_disk_queue_depth", "Busy disk channels observed at the last request."),
 	}
 }
@@ -125,6 +163,10 @@ type Disk struct {
 	stats    Stats
 	faults   *faultpoint.Set
 	obs      *Metrics
+	// inflight maps record keys to the completion time of their most
+	// recent read; ReadShared joins entries still in the future. Lazily
+	// allocated — plain Read/ReadPart callers never pay for it.
+	inflight map[cache.Key]int64
 }
 
 // NewDisk creates a disk; panics on invalid configuration (programmer
@@ -164,10 +206,7 @@ func (d *Disk) Stats() Stats { return d.stats }
 // TransferNanos returns the raw (uncontended) service time for a read
 // of the given size: seek plus transfer.
 func (d *Disk) TransferNanos(bytes int64) int64 {
-	if bytes < 0 {
-		bytes = 0
-	}
-	return d.cfg.SeekNanos + bytes*1_000_000_000/d.cfg.BytesPerSecond
+	return d.cfg.SeekNanos + TransferNanos(bytes, d.cfg.BytesPerSecond)
 }
 
 // Read services a read of `bytes` issued at virtual time `now` and
@@ -204,7 +243,7 @@ func (d *Disk) ReadPart(now, bytes int64, partition int32) (done int64) {
 		d.stats.LocalSeeks++
 		localSeek = true
 	}
-	service := seek + bytes*1_000_000_000/d.cfg.BytesPerSecond
+	service := seek + TransferNanos(bytes, d.cfg.BytesPerSecond)
 	if f := d.faults.Eval(faultpoint.DiskRead); f.Fired() {
 		d.stats.FaultedReads++
 		d.stats.FaultNanos += f.Delay.Nanoseconds()
@@ -236,6 +275,30 @@ func (d *Disk) ReadPart(now, bytes int64, partition int32) (done int64) {
 	return done
 }
 
+// ReadShared is ReadPart for a read identified by a record key: when
+// an earlier read of the same key is still in flight at `now`, the
+// caller joins it instead of issuing its own — no request, bytes, or
+// channel time is charged, CoalescedReads is incremented, and the
+// in-flight read's completion time is returned. This is the
+// virtual-time twin of the live runtime's single-flight FetchGroup:
+// in virtual time "concurrent misses" are reads issued before an
+// earlier read of the same record completed.
+func (d *Disk) ReadShared(now, bytes int64, partition int32, key cache.Key) (done int64, coalesced bool) {
+	if end, ok := d.inflight[key]; ok && end > now {
+		d.stats.CoalescedReads++
+		if m := d.obs; m != nil && m.Coalesced != nil {
+			m.Coalesced.Inc()
+		}
+		return end, true
+	}
+	done = d.ReadPart(now, bytes, partition)
+	if d.inflight == nil {
+		d.inflight = make(map[cache.Key]int64)
+	}
+	d.inflight[key] = done
+	return done, false
+}
+
 // Reset clears channel occupancy and statistics, reusing the
 // configuration (used between experiment repetitions).
 func (d *Disk) Reset() {
@@ -244,4 +307,5 @@ func (d *Disk) Reset() {
 		d.lastPart[i] = -1
 	}
 	d.stats = Stats{}
+	d.inflight = nil
 }

@@ -1,11 +1,14 @@
 package storage
 
 import (
+	"math"
+	"math/big"
 	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"subtrav/internal/cache"
 	"subtrav/internal/faultpoint"
 	"subtrav/internal/obs"
 )
@@ -295,4 +298,113 @@ func TestMetricsNilSafe(t *testing.T) {
 	d := NewDisk(testConfig(1))
 	d.SetMetrics(nil)
 	d.Read(0, 100) // must not panic
+}
+
+// Regression: bytes*1e9/BytesPerSecond overflowed int64 for multi-GB
+// reads (10 GB * 1e9 = 1e19 > 2^63-1), producing negative virtual
+// service times. With the pre-fix formula, the first assertion below
+// yields seek + (-846744073709551616/400e6) < 0.
+func TestTransferNanosMultiGBNoOverflow(t *testing.T) {
+	d := NewDisk(DefaultDiskConfig()) // 2 ms seek, 400 MB/s
+	const tenGB = 10_000_000_000
+	got := d.TransferNanos(tenGB)
+	// 10e9 bytes at 400e6 B/s = 25 s = 25e9 ns, plus 2e6 seek.
+	if want := int64(2_000_000 + 25_000_000_000); got != want {
+		t.Errorf("TransferNanos(10GB) = %d, want %d", got, want)
+	}
+	if got < 0 {
+		t.Fatalf("TransferNanos(10GB) went negative: %d", got)
+	}
+	done := d.Read(0, tenGB)
+	if done <= 0 {
+		t.Fatalf("Read(10GB) completion = %d, want positive", done)
+	}
+	if d.Stats().BusyNanos <= 0 {
+		t.Errorf("BusyNanos = %d, want positive", d.Stats().BusyNanos)
+	}
+}
+
+func TestTransferNanosSaturates(t *testing.T) {
+	// Extreme bytes at 1 B/s would exceed int64 nanoseconds; the
+	// helper must clamp, not wrap.
+	if got := TransferNanos(1<<62, 1); got != math.MaxInt64 {
+		t.Errorf("TransferNanos(2^62, 1) = %d, want MaxInt64", got)
+	}
+	if got := TransferNanos(-1, 100); got != 0 {
+		t.Errorf("TransferNanos(-1, 100) = %d, want 0", got)
+	}
+	if got := TransferNanos(100, 0); got != 0 {
+		t.Errorf("TransferNanos(100, 0) = %d, want 0", got)
+	}
+}
+
+// Property: the overflow-safe helper matches arbitrary-precision
+// arithmetic (truncated division) for random operands.
+func TestTransferNanosMatchesBigIntQuick(t *testing.T) {
+	f := func(bytesRaw uint64, bpsRaw uint32) bool {
+		bytes := int64(bytesRaw >> 1) // keep non-negative
+		bps := int64(bpsRaw)%1_000_000_000 + 1
+		want := new(big.Int).Mul(big.NewInt(bytes), big.NewInt(1_000_000_000))
+		want.Quo(want, big.NewInt(bps))
+		if want.Cmp(big.NewInt(math.MaxInt64)) > 0 {
+			want.SetInt64(math.MaxInt64)
+		}
+		return TransferNanos(bytes, bps) == want.Int64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSharedCoalesces(t *testing.T) {
+	d := NewDisk(testConfig(1))
+	// First read of key 7: a real request (1000 seek + 100 transfer).
+	done1, co1 := d.ReadShared(0, 100, -1, cache.VertexKey(7))
+	if co1 || done1 != 1100 {
+		t.Fatalf("first read: done=%d coalesced=%v, want 1100/false", done1, co1)
+	}
+	// Second read of the same key while the first is in flight: joins
+	// it — same completion time, no new request or bytes.
+	done2, co2 := d.ReadShared(500, 100, -1, cache.VertexKey(7))
+	if !co2 || done2 != done1 {
+		t.Fatalf("joined read: done=%d coalesced=%v, want %d/true", done2, co2, done1)
+	}
+	// A different key at the same instant is a real (queued) request.
+	done3, co3 := d.ReadShared(500, 100, -1, cache.VertexKey(8))
+	if co3 || done3 != done1+1100 {
+		t.Fatalf("other key: done=%d coalesced=%v, want %d/false", done3, co3, done1+1100)
+	}
+	st := d.Stats()
+	if st.Requests != 2 || st.BytesRead != 200 || st.CoalescedReads != 1 {
+		t.Errorf("stats = %+v, want 2 requests, 200 bytes, 1 coalesced", st)
+	}
+	// After the fetch lands, the same key misses again: a fresh read.
+	done4, co4 := d.ReadShared(done1, 100, -1, cache.VertexKey(7))
+	if co4 {
+		t.Fatalf("read after completion must not coalesce (done=%d)", done4)
+	}
+	if d.Stats().Requests != 3 {
+		t.Errorf("requests = %d, want 3", d.Stats().Requests)
+	}
+}
+
+func TestReadSharedMetricsAndReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := NewDisk(testConfig(1))
+	d.SetMetrics(NewMetrics(reg))
+	d.ReadShared(0, 100, -1, cache.VertexKey(1))
+	d.ReadShared(0, 100, -1, cache.VertexKey(1))
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "subtrav_disk_coalesced_reads_total 1") {
+		t.Errorf("exposition missing coalesced reads:\n%s", b.String())
+	}
+	// Reset drops the in-flight table: the next read is fresh even at
+	// a virtual time inside the old fetch window.
+	d.Reset()
+	if _, co := d.ReadShared(0, 100, -1, cache.VertexKey(1)); co {
+		t.Error("read after Reset coalesced against a stale in-flight entry")
+	}
 }

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"context"
+	"sync"
+
+	"subtrav/internal/cache"
+	"subtrav/internal/obs"
+)
+
+// fetchCall is one in-flight fetch shared by a leader and any number
+// of joining waiters. err is written exactly once, before done is
+// closed; the close is the happens-before edge that publishes it.
+type fetchCall struct {
+	done chan struct{}
+	err  error
+}
+
+// FetchGroup is a single-flight table over record fetches: when N
+// goroutines miss on the same cache.Key concurrently, the first (the
+// leader) runs the fetch and the rest join it, so the shared disk sees
+// exactly one read.
+//
+// Ownership contract: the fetch function is owned by the group, not by
+// any caller. Do launches it on a detached goroutine, so no waiter's
+// context — including the leader's — can cancel or corrupt the fetch
+// once it has started: a caller whose context expires mid-flight gets
+// its own context error back while the fetch runs to completion and
+// its result is delivered to every remaining (and future) waiter. The
+// fetch function must therefore not capture any caller-scoped
+// cancellation; callers needing a lifetime bound pass it inside fetch
+// (e.g. the live runtime's runtime-lifetime fetch context). A fetch
+// error fans out to every waiter of that flight exactly once each;
+// the next Do after completion starts a fresh flight.
+type FetchGroup struct {
+	mu       sync.Mutex
+	inflight map[cache.Key]*fetchCall
+
+	// Optional obs mirrors; set before concurrent use.
+	coalesced *obs.Counter // joins (fetches avoided)
+	waiters   *obs.Gauge   // goroutines currently waiting on another's fetch
+}
+
+// NewFetchGroup returns an empty single-flight table.
+func NewFetchGroup() *FetchGroup {
+	return &FetchGroup{inflight: make(map[cache.Key]*fetchCall)}
+}
+
+// SetMetrics installs obs mirrors: coalesced counts joined (avoided)
+// fetches; waiters tracks goroutines currently blocked on another
+// goroutine's fetch. Either may be nil. Call before concurrent use.
+func (g *FetchGroup) SetMetrics(coalesced *obs.Counter, waiters *obs.Gauge) {
+	g.coalesced = coalesced
+	g.waiters = waiters
+}
+
+// InFlight returns the number of distinct keys currently being
+// fetched; intended for tests.
+func (g *FetchGroup) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.inflight)
+}
+
+// Do returns once the fetch for key has completed (whoever ran it) or
+// ctx is done, whichever comes first. If no fetch for key is in
+// flight, the caller becomes the leader: fetch is launched on a
+// detached goroutine and the caller waits for it like everyone else.
+// shared reports whether the caller joined an existing flight instead
+// of starting one. The returned error is the fetch's error — delivered
+// identically to every waiter of the flight — or the caller's own
+// context error if it expired first (the fetch keeps running and
+// stays joinable).
+func (g *FetchGroup) Do(ctx context.Context, key cache.Key, fetch func() error) (shared bool, err error) {
+	g.mu.Lock()
+	c, ok := g.inflight[key]
+	if !ok {
+		c = &fetchCall{done: make(chan struct{})}
+		g.inflight[key] = c
+	}
+	g.mu.Unlock()
+
+	if !ok {
+		go func() {
+			c.err = fetch()
+			g.mu.Lock()
+			delete(g.inflight, key)
+			g.mu.Unlock()
+			// Publishes c.err; no waiter reads it before this close.
+			close(c.done)
+		}()
+	} else {
+		if g.coalesced != nil {
+			g.coalesced.Inc()
+		}
+		if g.waiters != nil {
+			g.waiters.Add(1)
+			defer g.waiters.Add(-1)
+		}
+	}
+
+	select {
+	case <-c.done:
+		return ok, c.err
+	case <-ctx.Done():
+		return ok, ctx.Err()
+	}
+}

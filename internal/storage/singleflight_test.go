@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"subtrav/internal/cache"
+	"subtrav/internal/obs"
+)
+
+func TestFetchGroupCoalescesConcurrentMisses(t *testing.T) {
+	g := NewFetchGroup()
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var startOnce sync.Once
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	fetch := func() error {
+		fetches.Add(1)
+		startOnce.Do(func() { close(started) })
+		<-gate
+		return nil
+	}
+
+	// Leader first, so the flight exists before the joiners arrive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if shared, err := g.Do(context.Background(), cache.VertexKey(1), fetch); shared || err != nil {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shared, err := g.Do(context.Background(), cache.VertexKey(1), fetch)
+			if err != nil {
+				t.Errorf("waiter: err = %v", err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let the joiners block, then release the fetch.
+	for g.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Errorf("fetch ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != waiters {
+		t.Errorf("shared joins = %d, want %d", got, waiters)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("in-flight after completion = %d, want 0", g.InFlight())
+	}
+}
+
+// A waiter's canceled context must not cancel or corrupt the shared
+// fetch: the canceled waiter gets its own context error, everyone else
+// gets the fetch's result, and the fetch runs exactly once.
+func TestFetchGroupWaiterCancellationIsScoped(t *testing.T) {
+	g := NewFetchGroup()
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	fetch := func() error {
+		fetches.Add(1)
+		close(started)
+		<-gate
+		return nil
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(context.Background(), cache.VertexKey(2), fetch)
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelledDone := make(chan error, 1)
+	go func() {
+		shared, err := g.Do(ctx, cache.VertexKey(2), fetch)
+		if !shared {
+			t.Error("canceled waiter should have joined the flight")
+		}
+		cancelledDone <- err
+	}()
+	survivorDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(context.Background(), cache.VertexKey(2), fetch)
+		survivorDone <- err
+	}()
+
+	cancel()
+	if err := <-cancelledDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled waiter err = %v, want context.Canceled", err)
+	}
+	// The flight must still be live and joinable after the cancellation.
+	if g.InFlight() != 1 {
+		t.Errorf("in-flight after waiter cancel = %d, want 1", g.InFlight())
+	}
+	close(gate)
+	if err := <-survivorDone; err != nil {
+		t.Errorf("surviving waiter err = %v, want nil", err)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Errorf("leader err = %v, want nil", err)
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Errorf("fetch ran %d times, want 1", got)
+	}
+}
+
+// An injected fetch error fans out to every waiter of the flight
+// exactly once each; the next Do starts a fresh flight.
+func TestFetchGroupErrorFansOutToEveryWaiter(t *testing.T) {
+	g := NewFetchGroup()
+	injected := errors.New("injected disk fault")
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	fetch := func() error {
+		fetches.Add(1)
+		close(started)
+		<-gate
+		return injected
+	}
+
+	const callers = 6
+	errs := make(chan error, callers)
+	go func() {
+		_, err := g.Do(context.Background(), cache.VertexKey(3), fetch)
+		errs <- err
+	}()
+	<-started
+	for i := 1; i < callers; i++ {
+		go func() {
+			_, err := g.Do(context.Background(), cache.VertexKey(3), fetch)
+			errs <- err
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	for i := 0; i < callers; i++ {
+		if err := <-errs; !errors.Is(err, injected) {
+			t.Errorf("caller %d err = %v, want the injected error", i, err)
+		}
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Errorf("fetch ran %d times, want 1 (error delivered once per waiter, not once per fetch)", got)
+	}
+
+	// The failed flight is gone: a retry issues a fresh fetch.
+	ok := func() error { return nil }
+	if shared, err := g.Do(context.Background(), cache.VertexKey(3), ok); shared || err != nil {
+		t.Errorf("retry after failed flight: shared=%v err=%v, want fresh nil fetch", shared, err)
+	}
+}
+
+func TestFetchGroupMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	coalesced := reg.Counter("subtrav_disk_coalesced_reads_total", "test")
+	waiters := reg.Gauge("subtrav_cache_singleflight_waiters", "test")
+	g := NewFetchGroup()
+	g.SetMetrics(coalesced, waiters)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	fetch := func() error {
+		close(started)
+		<-gate
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), cache.VertexKey(4), fetch)
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), cache.VertexKey(4), fetch)
+	}()
+	// The joiner shows up in the waiters gauge while blocked.
+	deadline := time.Now().Add(time.Second)
+	for waiters.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters gauge = %d, want 1", waiters.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := coalesced.Value(); got != 1 {
+		t.Errorf("coalesced counter = %d, want 1", got)
+	}
+	if got := waiters.Value(); got != 0 {
+		t.Errorf("waiters gauge after drain = %d, want 0", got)
+	}
+}
+
+func TestFetchGroupSequentialCallsEachFetch(t *testing.T) {
+	g := NewFetchGroup()
+	var fetches atomic.Int64
+	for i := 0; i < 3; i++ {
+		shared, err := g.Do(context.Background(), cache.VertexKey(5), func() error {
+			fetches.Add(1)
+			return nil
+		})
+		if shared || err != nil {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if got := fetches.Load(); got != 3 {
+		t.Errorf("sequential fetches = %d, want 3 (no stale coalescing)", got)
+	}
+}

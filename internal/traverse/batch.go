@@ -1,0 +1,494 @@
+package traverse
+
+import (
+	"fmt"
+
+	"subtrav/internal/graph"
+)
+
+// Multi-source batched traversal: several same-unit queries advance
+// their frontiers in lockstep waves, so a record that two queries
+// touch in the same wave is loaded once for both. The paper's workload
+// premise — concurrent traversals overlap heavily on hub vertices —
+// is exactly the case where the wave union is much smaller than the
+// sum of the per-query frontiers.
+//
+// Correctness is anchored by a strict invariant: every query's Result
+// and Trace are bit-for-bit identical to an independent single-source
+// run of the same query. Batching changes only *when* records are
+// loaded (and therefore what the executor pays), never what a query
+// computes or touches. Two properties make this hold:
+//
+//   - BFS is level-synchronous already: the single-source kernel's
+//     FIFO ring pops depth-d vertices in the exact order they were
+//     enqueued at depth d-1, which is the order a wave-at-a-time loop
+//     reproduces. The bounded-SSSP kernel expands one side per loop
+//     iteration; running one iteration per wave replays the identical
+//     expansion sequence.
+//
+//   - Per-query visit state stays fully private. BFS enqueued-sets and
+//     touched-sets are packed as per-query bits in shared dense
+//     bitmask maps (epoch-stamped, O(1) clear — the same VertexMap
+//     discipline the Workspace kernels use); SSSP label/access maps
+//     are per-slot. No query can observe another's visit marks, so
+//     predicates, MaxVisits caps, and meet detection behave exactly as
+//     in isolation.
+//
+// The shared per-wave record-load pass is emitted as a separate
+// "shared" Trace: within one wave each distinct vertex record appears
+// once no matter how many queries touch it, and its ScannedEdges
+// aggregates every batched query's scan work on that record, so
+// replaying the shared trace against a cache and disk yields the
+// batch's actual I/O and CPU cost. Across waves a record reappears —
+// the cache decides whether that is a hit, just as for independent
+// queries.
+
+// MaxBatch is the largest number of queries one Batch.Run can advance
+// together: per-query BFS visit state is one bit per query in an int32
+// dense map.
+const MaxBatch = 32
+
+// Batchable reports whether op can run in a multi-source batch.
+// Collaborative filtering and RWR have data-dependent iteration
+// structure with no wave alignment to exploit, so they run solo.
+func Batchable(op Op) bool { return op == OpBFS || op == OpSSSP }
+
+// ssspSlotMaps is the per-slot dense state of one batched SSSP query:
+// the same two label maps and two access-index maps the single-source
+// kernel keeps in its Scratch. One set per concurrent SSSP query —
+// O(|V|) each — is the price of keeping per-query state private.
+type ssspSlotMaps struct {
+	distA, distB graph.VertexMap
+	accA, accB   graph.VertexMap
+}
+
+func (m *ssspSlotMaps) grow(n int) {
+	m.distA.Grow(n)
+	m.distB.Grow(n)
+	m.accA.Grow(n)
+	m.accB.Grow(n)
+}
+
+func (m *ssspSlotMaps) reset() {
+	m.distA.Clear()
+	m.distB.Clear()
+	m.accA.Clear()
+	m.accB.Clear()
+}
+
+// BatchScratch bundles the NumVertices-sized dense structures batched
+// runs share. Like traverse.Scratch it is reset per run (epoch bumps),
+// so any number of Batches whose Run calls never overlap can share one
+// — the simulator's event loop does exactly that. Not safe for
+// concurrent use.
+type BatchScratch struct {
+	// waveLoaded dedups the shared trace within one wave: first toucher
+	// of a record in a wave emits the shared access.
+	waveLoaded graph.VertexSet
+	// sharedAcc maps a vertex to its most recent shared access index,
+	// so scan work lands on the wave-load that brought the record in.
+	sharedAcc graph.VertexMap
+	// sharedSeen dedups the shared trace's Touched across the run.
+	sharedSeen graph.VertexSet
+	// enqMask/seenMask hold per-query BFS enqueued and touched bits
+	// (bit i = query slot i), replacing K separate dense sets.
+	enqMask  graph.VertexMap
+	seenMask graph.VertexMap
+	// sssp holds per-slot SSSP maps, grown on demand to the number of
+	// SSSP queries in the largest batch seen.
+	sssp []*ssspSlotMaps
+
+	numVertices int
+}
+
+// NewBatchScratch returns a BatchScratch sized for graphs of
+// numVertices.
+func NewBatchScratch(numVertices int) *BatchScratch {
+	s := &BatchScratch{}
+	s.grow(numVertices)
+	return s
+}
+
+func (s *BatchScratch) grow(n int) {
+	if n > s.numVertices {
+		s.numVertices = n
+	}
+	s.waveLoaded.Grow(n)
+	s.sharedAcc.Grow(n)
+	s.sharedSeen.Grow(n)
+	s.enqMask.Grow(n)
+	s.seenMask.Grow(n)
+	for _, m := range s.sssp {
+		m.grow(n)
+	}
+}
+
+// ssspMaps returns the j-th per-slot SSSP map set, allocating on first
+// use and resetting it for a fresh run.
+func (s *BatchScratch) ssspMaps(j int) *ssspSlotMaps {
+	for len(s.sssp) <= j {
+		m := &ssspSlotMaps{}
+		m.grow(s.numVertices)
+		s.sssp = append(s.sssp, m)
+	}
+	m := s.sssp[j]
+	m.reset()
+	return m
+}
+
+// batchRunner is the private per-slot state of one batched query.
+type batchRunner struct {
+	q       Query
+	done    bool
+	visited int
+	result  Result
+
+	// BFS: current wave depth (== wave index while active).
+	depth int32
+
+	// SSSP: the single-source kernel's loop state, advanced one
+	// iteration per wave.
+	st             ssspState
+	depthA, depthB int
+	limitA, limitB int
+	maps           *ssspSlotMaps
+}
+
+// Batch runs multi-source lockstep traversals. It owns the per-query
+// and shared output buffers, reused across runs.
+//
+// Ownership contract (mirrors Workspace): the Results, Traces, and
+// shared Trace returned by Run are owned by the Batch and valid only
+// until its next Run. Callers that retain a Result must Clone it;
+// callers that retain a Trace must copy its slices.
+//
+// Not safe for concurrent use.
+type Batch struct {
+	scratch *BatchScratch
+
+	run     []batchRunner
+	traces  []Trace
+	ptrs    []*Trace
+	results []Result
+	shared  Trace
+
+	// Per-slot frontier double-buffers: BFS uses fA/nA as its
+	// current/next frontier; SSSP uses all four (one pair per side).
+	fA, fB, nA, nB [][]graph.VertexID
+}
+
+// NewBatch returns a Batch with a private BatchScratch sized for
+// graphs of numVertices.
+func NewBatch(numVertices int) *Batch {
+	return &Batch{scratch: NewBatchScratch(numVertices)}
+}
+
+// NewBatchWithScratch returns a Batch borrowing a shared BatchScratch.
+// The caller must guarantee Run calls across all Batches sharing it
+// never overlap (e.g. a single-threaded event loop).
+func NewBatchWithScratch(s *BatchScratch) *Batch {
+	return &Batch{scratch: s}
+}
+
+// Run advances all queries to completion in lockstep waves and returns
+// per-query results and traces — bit-for-bit identical to independent
+// single-source runs — plus the shared wave-ordered record-load trace
+// (see the package comment at the top of this file). Only Batchable
+// ops are accepted, and at most MaxBatch queries per call.
+func (b *Batch) Run(g *graph.Graph, queries []Query) (results []Result, traces []*Trace, shared *Trace, err error) {
+	if len(queries) == 0 {
+		return nil, nil, nil, fmt.Errorf("traverse: empty batch")
+	}
+	if len(queries) > MaxBatch {
+		return nil, nil, nil, fmt.Errorf("traverse: batch of %d queries, max %d", len(queries), MaxBatch)
+	}
+	for i, q := range queries {
+		if !Batchable(q.Op) {
+			return nil, nil, nil, fmt.Errorf("traverse: query %d: op %v is not batchable", i, q.Op)
+		}
+		if err := q.Validate(g); err != nil {
+			return nil, nil, nil, fmt.Errorf("traverse: query %d: %w", i, err)
+		}
+	}
+
+	b.begin(g, queries)
+	active := len(queries)
+	for wave := 0; active > 0; wave++ {
+		b.scratch.waveLoaded.Clear()
+		for i := range b.run {
+			r := &b.run[i]
+			if r.done {
+				continue
+			}
+			switch r.q.Op {
+			case OpBFS:
+				if wave == 0 {
+					b.bfsInit(i)
+				}
+				b.bfsWave(g, i)
+			case OpSSSP:
+				if wave == 0 {
+					b.ssspInit(g, i)
+				} else {
+					b.ssspWave(g, i)
+				}
+			}
+			if r.done {
+				active--
+			}
+		}
+	}
+
+	for i := range b.run {
+		b.results[i] = b.run[i].result
+		b.ptrs[i] = &b.traces[i]
+	}
+	return b.results, b.ptrs, &b.shared, nil
+}
+
+// begin readies the batch for one run over g.
+func (b *Batch) begin(g *graph.Graph, queries []Query) {
+	s := b.scratch
+	s.grow(g.NumVertices())
+	s.sharedAcc.Clear()
+	s.sharedSeen.Clear()
+	s.enqMask.Clear()
+	s.seenMask.Clear()
+	b.shared.Accesses = b.shared.Accesses[:0]
+	b.shared.Touched = b.shared.Touched[:0]
+
+	k := len(queries)
+	for len(b.run) < k {
+		b.run = append(b.run, batchRunner{})
+		b.traces = append(b.traces, Trace{})
+		b.ptrs = append(b.ptrs, nil)
+		b.results = append(b.results, Result{})
+		b.fA = append(b.fA, nil)
+		b.fB = append(b.fB, nil)
+		b.nA = append(b.nA, nil)
+		b.nB = append(b.nB, nil)
+	}
+	b.run = b.run[:k]
+	b.traces = b.traces[:k]
+	b.ptrs = b.ptrs[:k]
+	b.results = b.results[:k]
+	b.fA = b.fA[:k]
+	b.fB = b.fB[:k]
+	b.nA = b.nA[:k]
+	b.nB = b.nB[:k]
+
+	ssspSlots := 0
+	for i := range b.run {
+		tr := &b.traces[i]
+		tr.Accesses = tr.Accesses[:0]
+		tr.Touched = tr.Touched[:0]
+		b.run[i] = batchRunner{q: queries[i]}
+		if queries[i].Op == OpSSSP {
+			b.run[i].maps = s.ssspMaps(ssspSlots)
+			ssspSlots++
+		}
+	}
+}
+
+// touch records query i's access to v in both the per-query trace and
+// the shared wave trace, returning the per-query access index (the
+// exact analogue of Workspace.touch).
+func (b *Batch) touch(g *graph.Graph, i int, v graph.VertexID) int {
+	bytes := g.VertexBytes(v)
+	tr := &b.traces[i]
+	tr.Accesses = append(tr.Accesses, Access{Vertex: v, Bytes: bytes})
+	bit := uint32(1) << uint(i)
+	if m, _ := b.scratch.seenMask.Get(v); uint32(m)&bit == 0 {
+		b.scratch.seenMask.Put(v, int32(uint32(m)|bit))
+		tr.Touched = append(tr.Touched, v)
+	}
+
+	if b.scratch.waveLoaded.Add(v) {
+		b.scratch.sharedAcc.Put(v, int32(len(b.shared.Accesses)))
+		b.shared.Accesses = append(b.shared.Accesses, Access{Vertex: v, Bytes: bytes})
+		if b.scratch.sharedSeen.Add(v) {
+			b.shared.Touched = append(b.shared.Touched, v)
+		}
+	}
+	return len(tr.Accesses) - 1
+}
+
+// chargeScan attributes edge-scan work on v's record to query i's
+// access acc and, once, to the shared wave-load that brought the
+// record in (its most recent shared access).
+func (b *Batch) chargeScan(i, acc int, v graph.VertexID, edges int) {
+	b.traces[i].chargeScan(acc, edges)
+	if idx, ok := b.scratch.sharedAcc.Get(v); ok {
+		b.shared.chargeScan(int(idx), edges)
+	}
+}
+
+// bfsInit seeds slot i's frontier with its start vertex (the
+// single-source kernel's initial ringPush + enqueued.Put).
+func (b *Batch) bfsInit(i int) {
+	r := &b.run[i]
+	b.fA[i] = append(b.fA[i][:0], r.q.Start)
+	bit := uint32(1) << uint(i)
+	m, _ := b.scratch.enqMask.Get(r.q.Start)
+	b.scratch.enqMask.Put(r.q.Start, int32(uint32(m)|bit))
+	r.depth = 0
+}
+
+// bfsWave processes slot i's entire depth-d frontier — the contiguous
+// run of depth-d pops in the single-source kernel — and builds the
+// depth-d+1 frontier.
+func (b *Batch) bfsWave(g *graph.Graph, i int) {
+	r := &b.run[i]
+	q := &r.q
+	cur := b.fA[i]
+	next := b.nA[i][:0]
+	bit := uint32(1) << uint(i)
+
+	for _, v := range cur {
+		acc := b.touch(g, i, v)
+		if q.VertexPred != nil && !q.VertexPred(g.VertexProps(v)) {
+			continue
+		}
+		r.visited++
+		if q.MaxVisits > 0 && r.visited >= q.MaxVisits {
+			// The single-source kernel breaks out of its pop loop here,
+			// dropping the rest of the queue — so the remainder of this
+			// frontier and the half-built next frontier are dropped too.
+			r.done = true
+			break
+		}
+		if int(r.depth) >= q.Depth {
+			continue
+		}
+		lo, hi := g.EdgeSlots(v)
+		b.chargeScan(i, acc, v, int(hi-lo))
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			m, _ := b.scratch.enqMask.Get(u)
+			if uint32(m)&bit != 0 {
+				continue
+			}
+			b.scratch.enqMask.Put(u, int32(uint32(m)|bit))
+			next = append(next, u)
+		}
+	}
+	b.fA[i], b.nA[i] = next, cur
+	r.depth++
+	if len(next) == 0 {
+		r.done = true
+	}
+	if r.done {
+		r.result = Result{Visited: r.visited}
+	}
+}
+
+// ssspInit performs the single-source kernel's setup: the Start==Target
+// short-circuit, the two endpoint touches, and the initial frontiers.
+// Expansion starts at wave 1.
+func (b *Batch) ssspInit(g *graph.Graph, i int) {
+	r := &b.run[i]
+	q := &r.q
+	if q.Start == q.Target {
+		b.touch(g, i, q.Start)
+		r.result = Result{Visited: 1, Found: true, PathLen: 0}
+		r.done = true
+		return
+	}
+	m := r.maps
+	m.distA.Put(q.Start, 0)
+	m.distB.Put(q.Target, 0)
+	b.fA[i] = append(b.fA[i][:0], q.Start)
+	b.fB[i] = append(b.fB[i][:0], q.Target)
+	m.accA.Put(q.Start, int32(b.touch(g, i, q.Start)))
+	m.accB.Put(q.Target, int32(b.touch(g, i, q.Target)))
+	r.st = ssspState{visited: 2, best: -1}
+	r.limitA = (q.Depth + 1) / 2 // ceil(δ/2)
+	r.limitB = q.Depth / 2       // floor(δ/2); combined = δ
+	r.depthA, r.depthB = 0, 0
+}
+
+// ssspWave runs one iteration of the single-source kernel's main loop
+// for slot i: the loop-condition check, one side expansion, and the
+// best-length early exit.
+func (b *Batch) ssspWave(g *graph.Graph, i int) {
+	r := &b.run[i]
+	m := r.maps
+	fA, fB := b.fA[i], b.fB[i]
+	if r.st.capped || !((r.depthA < r.limitA && len(fA) > 0) || (r.depthB < r.limitB && len(fB) > 0)) {
+		b.ssspFinish(i)
+		return
+	}
+	// Alternate sides, smaller frontier first — the single-source
+	// kernel's bidirectional heuristic, verbatim.
+	expandA := r.depthA < r.limitA && len(fA) > 0 &&
+		(r.depthB >= r.limitB || len(fB) == 0 || len(fA) <= len(fB))
+	if expandA {
+		out := b.ssspExpandBatch(g, i, fA, b.nA[i][:0], &m.distA, &m.accA, &m.distB, r.depthA)
+		b.fA[i], b.nA[i] = out, fA
+		r.depthA++
+	} else {
+		out := b.ssspExpandBatch(g, i, fB, b.nB[i][:0], &m.distB, &m.accB, &m.distA, r.depthB)
+		b.fB[i], b.nB[i] = out, fB
+		r.depthB++
+	}
+	if r.st.best >= 0 && r.st.best <= r.depthA+r.depthB {
+		// No shorter meeting can appear once both processed depths
+		// cover the best found length.
+		b.ssspFinish(i)
+	}
+}
+
+func (b *Batch) ssspFinish(i int) {
+	r := &b.run[i]
+	r.done = true
+	if r.st.best >= 0 && r.st.best <= r.q.Depth {
+		r.result = Result{Visited: r.st.visited, Found: true, PathLen: r.st.best}
+		return
+	}
+	r.result = Result{Visited: r.st.visited, Found: false}
+}
+
+// ssspExpandBatch is ssspExpand with the touches and scan charges
+// routed through the batch's dual (per-query + shared) traces.
+func (b *Batch) ssspExpandBatch(g *graph.Graph, i int, frontier, next []graph.VertexID,
+	mine, accIdx, other *graph.VertexMap, depth int) []graph.VertexID {
+	r := &b.run[i]
+	q := &r.q
+	st := &r.st
+	for _, v := range frontier {
+		if st.capped {
+			break
+		}
+		lo, hi := g.EdgeSlots(v)
+		vAcc, _ := accIdx.Get(v)
+		b.chargeScan(i, int(vAcc), v, int(hi-lo))
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			if mine.Contains(u) {
+				continue
+			}
+			mine.Put(u, int32(depth+1))
+			accIdx.Put(u, int32(b.touch(g, i, u)))
+			st.visited++
+			if d, ok := other.Get(u); ok {
+				total := depth + 1 + int(d)
+				if st.best < 0 || total < st.best {
+					st.best = total
+				}
+				continue
+			}
+			if q.MaxVisits > 0 && st.visited >= q.MaxVisits {
+				st.capped = true
+				break
+			}
+			next = append(next, u)
+		}
+	}
+	return next
+}
