@@ -185,9 +185,11 @@ func runSched(smoke bool, parallelism int, path string) {
 }
 
 // runTraverse executes the traversal-kernel suite (workspace kernels
-// vs map-based reference) and writes the BENCH_traverse.json report.
-// -quick maps to smoke mode; -check enforces the mid-size BFS
-// acceptance floors (≥3x ns/op, ≥10x allocs/op) on full runs.
+// vs map-based reference, plus the direction-comparison matrix) and
+// writes the BENCH_traverse.json report. -quick maps to smoke mode;
+// -check enforces the mid-size acceptance floors on full runs: BFS
+// ≥3x ns/op and ≥10x allocs/op over the reference, Auto ≥2x over
+// forced push on the gated hub-heavy cell, and no sparse regression.
 func runTraverse(smoke, check bool, path string) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -198,6 +200,9 @@ func runTraverse(smoke, check bool, path string) {
 	}
 	if check && !smoke {
 		if err := rep.CheckThresholds(3, 10); err != nil {
+			fatal(err)
+		}
+		if err := rep.CheckDirection(travbench.MinHubSpeedup, travbench.MinSparseRatio); err != nil {
 			fatal(err)
 		}
 	}

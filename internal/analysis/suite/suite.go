@@ -50,6 +50,7 @@ func Scopes() map[string]analysis.Scope {
 		// wall-clock driver in cmd/subtrav-load may touch real time.
 		simdet.Analyzer.Name: {Paths: []string{
 			"subtrav/internal/sim",
+			"subtrav/internal/graph",
 			"subtrav/internal/graphgen",
 			"subtrav/internal/traverse",
 			"subtrav/internal/auction",

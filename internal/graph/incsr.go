@@ -1,0 +1,146 @@
+package graph
+
+import "fmt"
+
+// InCSR is the in-edge (reverse CSR) view of a graph: for every vertex
+// u, the forward CSR slots whose target is u, bucketed by u and sorted
+// within each bucket by forward slot. It exists for bottom-up
+// (pull-direction) traversal waves, which scan unvisited vertices and
+// probe their potential parents via in-edges instead of expanding the
+// frontier via out-edges.
+//
+// The three columns are parallel over forward slots: entry p says that
+// forward slot FwdSlot[p] (an index into the forward Targets array)
+// leaves Sources[p] and arrives at the bucket owner. Keeping the
+// forward slot — not just the source vertex — lets pull kernels apply
+// edge predicates and charge trace attribution against the exact same
+// logical edge the push path would have used.
+type InCSR struct {
+	// Offsets has NumVertices+1 entries; the in-edges of u are the
+	// parallel entries Sources[Offsets[u]:Offsets[u+1]] /
+	// FwdSlot[Offsets[u]:Offsets[u+1]], sorted by forward slot.
+	Offsets []int64
+	// Sources[p] is the tail vertex of the in-edge at entry p.
+	Sources []VertexID
+	// FwdSlot[p] is the forward CSR slot of the in-edge at entry p.
+	// Forward slots fit uint32: EdgeID is int32, so a graph has at most
+	// 2*MaxInt32 slots (two per undirected edge).
+	FwdSlot []uint32
+}
+
+// Degree returns the in-degree of u (for undirected graphs this equals
+// the out-degree, since every edge occupies a slot in both directions).
+func (in *InCSR) Degree(u VertexID) int {
+	return int(in.Offsets[u+1] - in.Offsets[u])
+}
+
+// Edges returns the entry range [lo, hi) of u's in-edges.
+func (in *InCSR) Edges(u VertexID) (lo, hi int64) {
+	return in.Offsets[u], in.Offsets[u+1]
+}
+
+// In returns the in-edge view of the graph, building and caching it on
+// first use. Snapshots that persist the in-edge sections preset the
+// view at load time, so mmap-backed graphs pay nothing here. Safe for
+// concurrent use, like every other read method.
+func (g *Graph) In() *InCSR {
+	g.inOnce.Do(func() {
+		if g.in.Load() == nil {
+			g.in.Store(buildInCSR(g))
+		}
+	})
+	return g.in.Load()
+}
+
+// InPersisted reports whether the in-edge view was loaded from a
+// snapshot (rather than absent or built on demand). Surfaced by
+// `graphgen -info` so operators can tell whether a snapshot carries
+// the optional in-edge sections.
+func (g *Graph) InPersisted() bool { return g.inPersisted }
+
+// buildInCSR derives the reverse CSR from the forward CSR with one
+// counting pass and one scatter pass. The scatter walks forward slots
+// in ascending order, so every in-bucket comes out sorted by forward
+// slot without an explicit sort.
+func buildInCSR(g *Graph) *InCSR {
+	n := g.NumVertices()
+	nSlots := int64(len(g.targets))
+	off := make([]int64, n+1)
+	for _, t := range g.targets {
+		off[t+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	src := make([]VertexID, nSlots)
+	slot := make([]uint32, nSlots)
+	next := make([]int64, n)
+	copy(next, off[:n])
+	for v := 0; v < n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for s := lo; s < hi; s++ {
+			u := g.targets[s]
+			p := next[u]
+			src[p] = VertexID(v)
+			slot[p] = uint32(s)
+			next[u] = p + 1
+		}
+	}
+	return &InCSR{Offsets: off, Sources: src, FwdSlot: slot}
+}
+
+// validateInCSR checks preset in-edge columns against the forward CSR:
+// the bucket structure must be closed over the slot space, every entry
+// must name a real forward slot arriving at its bucket owner and
+// leaving its recorded source, and buckets must be sorted by forward
+// slot. Load-path validation for untrusted snapshots, so violations
+// surface as errors, never panics.
+func validateInCSR(d CSRData) error {
+	n := len(d.Offsets) - 1
+	slots := int64(len(d.Targets))
+	if len(d.InOffsets) != n+1 {
+		return fmt.Errorf("graph: csr in-offsets has %d entries, want %d", len(d.InOffsets), n+1)
+	}
+	if d.InOffsets[0] != 0 {
+		return fmt.Errorf("graph: csr in-offsets[0] = %d, want 0", d.InOffsets[0])
+	}
+	for u := 0; u < n; u++ {
+		if d.InOffsets[u+1] < d.InOffsets[u] {
+			return fmt.Errorf("graph: csr in-offsets decrease at vertex %d (%d -> %d)",
+				u, d.InOffsets[u], d.InOffsets[u+1])
+		}
+	}
+	if d.InOffsets[n] != slots {
+		return fmt.Errorf("graph: csr in-offsets end at %d, want the %d slots", d.InOffsets[n], slots)
+	}
+	if int64(len(d.InSources)) != slots {
+		return fmt.Errorf("graph: csr %d in-sources for %d slots", len(d.InSources), slots)
+	}
+	if int64(len(d.InSlots)) != slots {
+		return fmt.Errorf("graph: csr %d in-slots for %d slots", len(d.InSlots), slots)
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := d.InOffsets[u], d.InOffsets[u+1]
+		for p := lo; p < hi; p++ {
+			s := int64(d.InSlots[p])
+			if s >= slots {
+				return fmt.Errorf("graph: csr in-slot[%d] = %d out of range [0,%d)", p, s, slots)
+			}
+			if d.Targets[s] != VertexID(u) {
+				return fmt.Errorf("graph: csr in-slot[%d] = %d targets vertex %d, want bucket owner %d",
+					p, s, d.Targets[s], u)
+			}
+			v := d.InSources[p]
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("graph: csr in-sources[%d] = %d out of range [0,%d)", p, v, n)
+			}
+			if s < d.Offsets[v] || s >= d.Offsets[v+1] {
+				return fmt.Errorf("graph: csr in-sources[%d] = %d does not own forward slot %d", p, v, s)
+			}
+			if p > lo && s <= int64(d.InSlots[p-1]) {
+				return fmt.Errorf("graph: csr in-edges of vertex %d not sorted by forward slot at entry %d", u, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// naiveInEdges lists (source, forward slot) pairs arriving at u by
+// scanning every forward slot — the executable spec for buildInCSR.
+func naiveInEdges(g *Graph, u VertexID) (srcs []VertexID, slots []uint32) {
+	for v := 0; v < g.NumVertices(); v++ {
+		lo, hi := g.EdgeSlots(VertexID(v))
+		for s := lo; s < hi; s++ {
+			if g.TargetAt(s) == u {
+				srcs = append(srcs, VertexID(v))
+				slots = append(slots, uint32(s))
+			}
+		}
+	}
+	return
+}
+
+func checkInCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	in := g.In()
+	n := g.NumVertices()
+	if len(in.Offsets) != n+1 {
+		t.Fatalf("in-offsets length %d, want %d", len(in.Offsets), n+1)
+	}
+	for u := 0; u < n; u++ {
+		wantSrc, wantSlot := naiveInEdges(g, VertexID(u))
+		lo, hi := in.Edges(VertexID(u))
+		if int(hi-lo) != len(wantSrc) {
+			t.Fatalf("vertex %d: in-degree %d, want %d", u, hi-lo, len(wantSrc))
+		}
+		if in.Degree(VertexID(u)) != len(wantSrc) {
+			t.Fatalf("vertex %d: Degree %d, want %d", u, in.Degree(VertexID(u)), len(wantSrc))
+		}
+		for i := int64(0); i < hi-lo; i++ {
+			if in.Sources[lo+i] != wantSrc[i] || in.FwdSlot[lo+i] != wantSlot[i] {
+				t.Fatalf("vertex %d entry %d: got (%d, %d), want (%d, %d)",
+					u, i, in.Sources[lo+i], in.FwdSlot[lo+i], wantSrc[i], wantSlot[i])
+			}
+		}
+	}
+}
+
+func buildTestGraph(t *testing.T, kind Kind, n int, edges [][2]VertexID) *Graph {
+	t.Helper()
+	b := NewBuilder(kind, n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestInCSRMatchesNaive(t *testing.T) {
+	directed := buildTestGraph(t, Directed, 7, [][2]VertexID{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {4, 2}, {5, 2}, {6, 6},
+	})
+	undirected := buildTestGraph(t, Undirected, 5, [][2]VertexID{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4},
+	})
+	isolated := buildTestGraph(t, Directed, 4, [][2]VertexID{{1, 3}})
+	empty := buildTestGraph(t, Directed, 3, nil)
+	for name, g := range map[string]*Graph{
+		"directed": directed, "undirected": undirected,
+		"isolated": isolated, "empty": empty,
+	} {
+		t.Run(name, func(t *testing.T) { checkInCSR(t, g) })
+	}
+}
+
+// TestInCached verifies In() builds once and returns the same view,
+// including under concurrent first use.
+func TestInCached(t *testing.T) {
+	g := buildTestGraph(t, Directed, 6, [][2]VertexID{{0, 1}, {1, 2}, {2, 0}, {3, 4}})
+	var wg sync.WaitGroup
+	views := make([]*InCSR, 8)
+	for i := range views {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); views[i] = g.In() }(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(views); i++ {
+		if views[i] != views[0] {
+			t.Fatalf("In() returned distinct views across goroutines")
+		}
+	}
+	if g.InPersisted() {
+		t.Fatalf("built-on-demand view reported as persisted")
+	}
+}
+
+// TestInCSRRoundTrip checks that a graph rebuilt via FromCSR from a
+// CSRView carrying in-edge columns presets the view (no rebuild) and
+// reports it persisted.
+func TestInCSRRoundTrip(t *testing.T) {
+	g := buildTestGraph(t, Undirected, 6, [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}})
+	in := g.In()
+	d := g.CSRView()
+	if d.InOffsets == nil || d.InSources == nil || d.InSlots == nil {
+		t.Fatalf("CSRView dropped the built in-edge columns")
+	}
+	g2, err := FromCSR(d)
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	if !g2.InPersisted() {
+		t.Fatalf("preset in-edge view not reported persisted")
+	}
+	in2 := g2.In()
+	if &in2.Offsets[0] != &in.Offsets[0] {
+		t.Fatalf("preset view rebuilt instead of aliased")
+	}
+	checkInCSR(t, g2)
+}
+
+// TestFromCSRInValidation walks corrupted in-edge columns through
+// FromCSR and demands an error naming the problem.
+func TestFromCSRInValidation(t *testing.T) {
+	base := func() CSRData {
+		g := buildTestGraph(t, Directed, 4, [][2]VertexID{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 1}})
+		g.In()
+		d := g.CSRView()
+		// Deep-copy the in columns so mutations don't leak between cases.
+		d.InOffsets = append([]int64(nil), d.InOffsets...)
+		d.InSources = append([]VertexID(nil), d.InSources...)
+		d.InSlots = append([]uint32(nil), d.InSlots...)
+		return d
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*CSRData)
+		wantMsg string
+	}{
+		{"short offsets", func(d *CSRData) { d.InOffsets = d.InOffsets[:2] }, "in-offsets has"},
+		{"nonzero first", func(d *CSRData) { d.InOffsets[0] = 1 }, "in-offsets[0]"},
+		{"decreasing", func(d *CSRData) { d.InOffsets[2] = d.InOffsets[1] - 1 }, "decrease"},
+		{"open end", func(d *CSRData) { d.InOffsets[len(d.InOffsets)-1]++ }, "in-offsets end"},
+		{"slot out of range", func(d *CSRData) { d.InSlots[0] = 99 }, "out of range"},
+		{"wrong bucket", func(d *CSRData) {
+			// Slot 3 targets vertex 2 (edge 1->2); plant it in vertex 1's bucket.
+			for p := d.InOffsets[1]; p < d.InOffsets[2]; p++ {
+				d.InSlots[p] = 3
+			}
+		}, "bucket owner"},
+		{"wrong source", func(d *CSRData) { d.InSources[0] = 3 }, "own forward slot"},
+		{"source out of range", func(d *CSRData) { d.InSources[0] = -1 }, "in-sources[0]"},
+		{"missing offsets", func(d *CSRData) { d.InOffsets = nil }, "without in-offsets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base()
+			tc.mutate(&d)
+			_, err := FromCSR(d)
+			if err == nil {
+				t.Fatalf("FromCSR accepted corrupted in columns")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

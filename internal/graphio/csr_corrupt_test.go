@@ -5,15 +5,17 @@ import (
 	"errors"
 	"hash/crc32"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"subtrav/internal/graph"
 )
 
-// corruptFixture builds a graph that exercises every one of the twelve
-// v2 sections: undirected (edgeidx), weighted, vertex + edge props
-// (idx, recs, arena), explicit partition.
+// corruptFixture builds a graph that exercises every one of the
+// fifteen v2 sections: undirected (edgeidx), weighted, vertex + edge
+// props (idx, recs, arena), explicit partition, and the persisted
+// in-edge view (inoffsets, insources, inslots).
 func corruptFixture(t *testing.T) []byte {
 	t.Helper()
 	b := graph.NewBuilder(graph.Undirected, 6)
@@ -26,6 +28,7 @@ func corruptFixture(t *testing.T) []byte {
 	b.SetVertexProps(5, graph.Properties{"score": graph.Float(1.5), "ok": graph.Bool(true)})
 	b.SetPartition([]int32{0, 0, 1, 1, 2, 2})
 	g := b.Build()
+	g.In() // materialize the reverse CSR so the in-edge sections persist
 	var buf bytes.Buffer
 	if err := WriteCSR(&buf, g); err != nil {
 		t.Fatal(err)
@@ -220,6 +223,36 @@ func TestReadCSRCorruptionTable(t *testing.T) {
 			refreshCRCs(t, d)
 			return d
 		}, ErrCSRCorrupt, "kind"},
+		{"inoffsets-decrease", func(t *testing.T, d []byte) []byte {
+			e := entryFor(t, d, secInOffsets)
+			le.PutUint64(d[e.off+8:], ^uint64(0)) // inoffsets[1] = -1
+			refreshCRCs(t, d)
+			return d
+		}, ErrCSRCorrupt, "in-offsets"},
+		{"inslot-out-of-range", func(t *testing.T, d []byte) []byte {
+			e := entryFor(t, d, secInSlots)
+			le.PutUint32(d[e.off:], 1<<20)
+			refreshCRCs(t, d)
+			return d
+		}, ErrCSRCorrupt, "in-slot"},
+		{"insource-out-of-range", func(t *testing.T, d []byte) []byte {
+			e := entryFor(t, d, secInSources)
+			le.PutUint32(d[e.off:], 1<<20)
+			refreshCRCs(t, d)
+			return d
+		}, ErrCSRCorrupt, "in-sources"},
+		{"insources-without-inoffsets", func(t *testing.T, d []byte) []byte {
+			e := entryFor(t, d, secInOffsets)
+			le.PutUint64(d[e.pos+16:], 0)
+			refreshCRCs(t, d)
+			return d
+		}, ErrCSRCorrupt, "without an inoffsets"},
+		{"inoffsets-without-insources", func(t *testing.T, d []byte) []byte {
+			e := entryFor(t, d, secInSources)
+			le.PutUint64(d[e.pos+16:], 0)
+			refreshCRCs(t, d)
+			return d
+		}, ErrCSRCorrupt, "inoffsets section"},
 	}
 
 	for _, tc := range cases {
@@ -284,6 +317,56 @@ func TestReadCSRTruncatedAtEveryBoundary(t *testing.T) {
 			!errors.Is(err, ErrCSRMagic) && !errors.Is(err, ErrCSRCorrupt) {
 			t.Fatalf("truncated to %d bytes: unexpected error class: %v", cut, err)
 		}
+	}
+}
+
+// TestReadCSRInEdgeSections pins the persistence round-trip of the
+// optional reverse-CSR sections and the absent-section fallback: files
+// written before the sections existed (or from graphs that never
+// materialized the view) decode fine and rebuild on demand.
+func TestReadCSRInEdgeSections(t *testing.T) {
+	b := graph.NewBuilder(graph.Directed, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(4, 1)
+	src := b.Build()
+
+	var without bytes.Buffer
+	if err := WriteCSR(&without, src); err != nil {
+		t.Fatal(err)
+	}
+	want := src.In() // materializes the view; reference for both paths
+	var with bytes.Buffer
+	if err := WriteCSR(&with, src); err != nil {
+		t.Fatal(err)
+	}
+	if with.Len() <= without.Len() {
+		t.Fatalf("snapshot with in-edge sections is %d bytes, without is %d — sections not written",
+			with.Len(), without.Len())
+	}
+
+	gw, err := ReadCSR(with.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gw.InPersisted() {
+		t.Error("graph loaded from snapshot with in-edge sections: InPersisted() = false")
+	}
+	if got := gw.In(); !reflect.DeepEqual(got, want) {
+		t.Errorf("persisted in-CSR differs from built one:\n got %+v\nwant %+v", got, want)
+	}
+
+	gf, err := ReadCSR(without.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.InPersisted() {
+		t.Error("graph loaded from snapshot without in-edge sections: InPersisted() = true")
+	}
+	if got := gf.In(); !reflect.DeepEqual(got, want) {
+		t.Errorf("rebuilt in-CSR differs from reference:\n got %+v\nwant %+v", got, want)
 	}
 }
 

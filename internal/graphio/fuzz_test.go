@@ -57,8 +57,10 @@ func FuzzReadCSR(f *testing.F) {
 	b.AddEdge(3, 4)
 	b.SetVertexProps(0, graph.Properties{"n": graph.Int(7), "b": graph.Blob(64)})
 	b.SetPartition([]int32{0, 0, 1, 1, 1})
+	seedG := b.Build()
+	seedG.In() // seed carries the in-edge sections too
 	var buf bytes.Buffer
-	if err := WriteCSR(&buf, b.Build()); err != nil {
+	if err := WriteCSR(&buf, seedG); err != nil {
 		f.Fatal(err)
 	}
 	valid := buf.Bytes()
@@ -99,6 +101,15 @@ func FuzzReadCSR(f *testing.F) {
 				_ = g.Weight(e)
 				_ = g.EdgeProps(e)
 				_ = g.EdgeBytes(e)
+			}
+		}
+		// The in-edge view — persisted and validated, or rebuilt on
+		// demand — must be scannable either way.
+		in := g.In()
+		for v := 0; v < g.NumVertices(); v++ {
+			lo, hi := in.Edges(graph.VertexID(v))
+			for p := lo; p < hi; p++ {
+				_, _ = in.Sources[p], in.FwdSlot[p]
 			}
 		}
 		var out bytes.Buffer

@@ -116,6 +116,13 @@ type Config struct {
 	// grows by O(BatchTraversals·|V|) per unit in the worst (SSSP)
 	// case.
 	BatchTraversals int
+
+	// Direction is the runtime's default push/pull policy for BFS/SSSP
+	// traversals: queries submitted with a zero-valued Dir inherit it.
+	// A query that sets its own Dir (any non-zero field) keeps it. The
+	// zero value means auto-switching with the Beamer defaults — the
+	// same behavior queries get with no runtime involved.
+	Direction traverse.DirectionConfig
 }
 
 func (c *Config) validate() error {
@@ -166,6 +173,9 @@ func (c *Config) validate() error {
 	}
 	if c.BatchTraversals < 0 || c.BatchTraversals > traverse.MaxBatch {
 		return fmt.Errorf("live: BatchTraversals = %d, want [0, %d]", c.BatchTraversals, traverse.MaxBatch)
+	}
+	if err := c.Direction.Validate(); err != nil {
+		return fmt.Errorf("live: %w", err)
 	}
 	zero := sim.CostModel{}
 	if c.Cost == zero {
@@ -516,6 +526,9 @@ func (r *Runtime) SubmitTenantCtx(ctx context.Context, tenant string, q traverse
 		// context to detach from, so a fresh root is the correct one.
 		//lint:allow ctxplumb nil-ctx fallback for the documented Submit contract
 		ctx = context.Background()
+	}
+	if q.Dir == (traverse.DirectionConfig{}) {
+		q.Dir = r.cfg.Direction
 	}
 	if err := q.Validate(r.g); err != nil {
 		return nil, err
@@ -1067,6 +1080,9 @@ func (r *Runtime) runBatch(u *liveUnit, members []*task) {
 		}
 		return
 	}
+	for i, t := range live {
+		r.obs.recordDirStats(t, u.batch.DirStats(i))
+	}
 
 	cost := &r.cfg.Cost
 	var inlineNanos int64
@@ -1170,6 +1186,7 @@ func (r *Runtime) execute(u *liveUnit, t *task) Response {
 	if err != nil {
 		return Response{Unit: u.id, Err: err, Wait: t.started.Sub(t.submit)}
 	}
+	r.obs.recordDirStats(t, ws.DirStats())
 	cancelled := func(err error) Response {
 		return Response{
 			Unit: u.id,

@@ -37,6 +37,33 @@ func BenchmarkKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkDirection measures the direction-comparison cells — the
+// hub-heavy fixtures under every policy — via the exact closures the
+// JSON emitter drives.
+func BenchmarkDirection(b *testing.B) {
+	for _, v := range Sizes {
+		for _, deg := range Degrees {
+			fx, err := NewDirFixture(v, deg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, op := range fx.Ops() {
+				for _, m := range DirModes {
+					op, mode := op, m.Mode
+					b.Run(fmt.Sprintf("%s/%s/V=%d/deg=%d", op.Name, m.Name, v, deg), func(b *testing.B) {
+						b.ReportAllocs()
+						op.Run(mode) // warm the workspace to steady-state capacity
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							op.Run(mode)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
 // TestRunSmoke proves the emitter end to end: a smoke run over the
 // full matrix must produce a well-formed report with every cell and a
 // speedup entry per (op, size, degree).
@@ -48,12 +75,20 @@ func TestRunSmoke(t *testing.T) {
 	if !rep.Smoke {
 		t.Error("smoke flag not set")
 	}
-	wantCells := len(Sizes) * len(Degrees) * 4 // ops
+	grid := len(Sizes) * len(Degrees)
+	wantCells := grid * 4 // ops
 	if len(rep.Speedup) != wantCells {
 		t.Errorf("speedup entries: %d, want %d", len(rep.Speedup), wantCells)
 	}
-	if len(rep.Results) != 2*wantCells {
-		t.Errorf("results: %d, want %d", len(rep.Results), 2*wantCells)
+	// Per grid cell: 4 ops x (ws, ref), the sparse push/pull guard
+	// pair, and the hub fixtures' 2 ops x 3 modes.
+	wantResults := grid * (4*2 + 2 + 2*3)
+	if len(rep.Results) != wantResults {
+		t.Errorf("results: %d, want %d", len(rep.Results), wantResults)
+	}
+	// One direction entry per sparse BFS cell plus one per hub op.
+	if want := grid * 3; len(rep.Direction) != want {
+		t.Errorf("direction entries: %d, want %d", len(rep.Direction), want)
 	}
 	for _, res := range rep.Results {
 		if res.Iters != 1 {
@@ -63,9 +98,12 @@ func TestRunSmoke(t *testing.T) {
 			t.Errorf("%s: ns/op = %g, want > 0", res.Name, res.NsPerOp)
 		}
 	}
-	// Threshold checking must at least find the mid-size BFS cells
-	// (the floors themselves are only meaningful on full runs).
+	// Threshold checking must at least find the gated cells (the
+	// floors themselves are only meaningful on full runs).
 	if err := rep.CheckThresholds(0, 0); err != nil {
 		t.Errorf("threshold scan: %v", err)
+	}
+	if err := rep.CheckDirection(0, 0); err != nil {
+		t.Errorf("direction scan: %v", err)
 	}
 }

@@ -1,0 +1,124 @@
+package travbench
+
+import (
+	"fmt"
+
+	"subtrav/internal/graph"
+	"subtrav/internal/graphgen"
+	"subtrav/internal/traverse"
+)
+
+// Direction-comparison suite: the tracked evidence that the
+// direction-optimizing traversal pays for itself. Hub-heavy fixtures —
+// uncapped power-law graphs whose mega-hub turns mid-traversal
+// frontiers dense — run BFS and SSSP under Auto, ForcePush, and
+// ForcePull, and the standard hub-capped fixture doubles as the
+// no-regression guard: Auto must win big where pulls are cheap and must
+// not lose where they aren't.
+
+// Direction-suite acceptance floors, enforced by `subtrav-bench
+// traverse -check` (see Report.CheckDirection).
+const (
+	// MinHubSpeedup is the floor on push-ns / auto-ns for the densest
+	// mid-size hub-heavy BFS cell: Auto must run the traversal at least
+	// this many times faster than forced push.
+	MinHubSpeedup = 2.0
+	// MinSparseRatio is the floor on push-ns / auto-ns for the mid-size
+	// standard (hub-capped) BFS cells: Auto may not regress the sparse
+	// workload below this fraction of forced-push throughput. The slack
+	// absorbs run-to-run noise; a genuinely misfiring heuristic loses
+	// several-fold, not 20%.
+	MinSparseRatio = 0.8
+)
+
+// DirExponent is the hub fixture's degree exponent: close enough to 2
+// that, uncapped, the largest hub is adjacent to a sizable fraction of
+// the graph.
+const DirExponent = 2.01
+
+// DirModes enumerates the compared direction policies.
+var DirModes = []struct {
+	Name string
+	Mode traverse.Direction
+}{
+	{"auto", traverse.DirAuto},
+	{"push", traverse.DirForcePush},
+	{"pull", traverse.DirForcePull},
+}
+
+// DirFixture is the hub-heavy direction workload: a power-law graph
+// generated without the structural degree cutoff, traversed from its
+// mega-hub so the second wave's frontier carries most of the edge mass
+// — the regime where a bottom-up sweep of the shrinking unvisited set
+// beats scanning the frontier's out-edges.
+type DirFixture struct {
+	V      int
+	Degree int
+
+	Social *graph.Graph
+	WS     *traverse.Workspace
+	BFSQ   traverse.Query
+	SSSPQ  traverse.Query
+}
+
+// NewDirFixture builds the hub-heavy workload for v vertices at the
+// given average degree.
+func NewDirFixture(v, degree int) (*DirFixture, error) {
+	social, err := graphgen.PowerLaw(graphgen.PowerLawConfig{
+		NumVertices: v,
+		NumEdges:    v * degree / 2,
+		Exponent:    DirExponent,
+		Kind:        graph.Undirected,
+		Seed:        Seed + 3,
+		MaxDegree:   -1, // no structural cutoff: keep the mega-hub
+	})
+	if err != nil {
+		return nil, fmt.Errorf("travbench: hub fixture: %w", err)
+	}
+	// Materialize the reverse CSR up front: the pull kernels' one-time
+	// index build is not what these cells measure.
+	social.In()
+
+	hub := graph.VertexID(0)
+	for u := 0; u < social.NumVertices(); u++ {
+		if social.Degree(graph.VertexID(u)) > social.Degree(hub) {
+			hub = graph.VertexID(u)
+		}
+	}
+	target := graph.VertexID(social.NumVertices() - 1)
+	if target == hub {
+		target = 0
+	}
+
+	return &DirFixture{
+		V:      v,
+		Degree: degree,
+		Social: social,
+		WS:     traverse.NewWorkspace(social.NumVertices()),
+		BFSQ:   traverse.Query{Op: traverse.OpBFS, Start: hub, Depth: 4},
+		SSSPQ:  traverse.Query{Op: traverse.OpSSSP, Start: hub, Target: target, Depth: 6},
+	}, nil
+}
+
+// DirOp is one direction-comparison kernel: Run executes the op with
+// the given policy stamped on the query.
+type DirOp struct {
+	Name string
+	Run  func(traverse.Direction)
+}
+
+// Ops enumerates the hub-heavy kernels.
+func (fx *DirFixture) Ops() []DirOp {
+	return []DirOp{
+		{"HubBFS", func(m traverse.Direction) {
+			q := fx.BFSQ
+			q.Dir.Mode = m
+			fx.WS.BFS(fx.Social, q)
+		}},
+		{"HubSSSP", func(m traverse.Direction) {
+			q := fx.SSSPQ
+			q.Dir.Mode = m
+			fx.WS.BoundedSSSP(fx.Social, q)
+		}},
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"subtrav/internal/traverse"
 )
 
 // Result is one measured benchmark cell.
@@ -32,6 +34,14 @@ type Speedup struct {
 	AllocRatio float64 `json:"alloc_ratio"`
 }
 
+// DirSpeedup compares the forced direction modes against Auto for one
+// direction-suite cell. Both ratios divide the forced mode's ns/op by
+// Auto's, so >1 means Auto is faster.
+type DirSpeedup struct {
+	PushVsAuto float64 `json:"push_vs_auto"`
+	PullVsAuto float64 `json:"pull_vs_auto"`
+}
+
 // Report is the BENCH_traverse.json payload: environment metadata, the
 // per-cell results, and the workspace-vs-reference speedup matrix. It
 // deliberately carries no timestamps or hostnames, so regenerating it
@@ -47,6 +57,10 @@ type Report struct {
 
 	Results []Result           `json:"results"`
 	Speedup map[string]Speedup `json:"speedup"`
+	// Direction holds the direction-comparison matrix: hub-heavy
+	// HubBFS/HubSSSP cells plus the standard fixture's BFS cell as the
+	// sparse no-regression guard (see CheckDirection).
+	Direction map[string]DirSpeedup `json:"direction"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -131,6 +145,7 @@ func Run(smoke bool, logf func(format string, args ...any)) (*Report, error) {
 		NumCPU:    runtime.NumCPU(),
 		Smoke:     smoke,
 		Speedup:   make(map[string]Speedup),
+		Direction: make(map[string]DirSpeedup),
 	}
 
 	for _, v := range Sizes {
@@ -139,10 +154,14 @@ func Run(smoke bool, logf func(format string, args ...any)) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			var bfsWS Result
 			for _, op := range fx.Ops() {
 				cell := Cell(op.Name, v, deg)
 				ws := runCell(rep, op.Name+"/ws/"+trimOp(cell, op.Name), smoke, op.WS)
 				ref := runCell(rep, op.Name+"/ref/"+trimOp(cell, op.Name), smoke, op.Ref)
+				if op.Name == "BFS" {
+					bfsWS = ws
+				}
 				rep.Speedup[cell] = Speedup{
 					NsRatio:    ratio(ref.NsPerOp, ws.NsPerOp),
 					AllocRatio: ratio(ref.AllocsPerOp, floorOne(ws.AllocsPerOp)),
@@ -150,6 +169,51 @@ func Run(smoke bool, logf func(format string, args ...any)) (*Report, error) {
 				logf("%-24s ws %.0f ns/op %.1f allocs/op | ref %.0f ns/op %.1f allocs/op (%.1fx ns, %.0fx allocs)",
 					cell, ws.NsPerOp, ws.AllocsPerOp, ref.NsPerOp, ref.AllocsPerOp,
 					rep.Speedup[cell].NsRatio, rep.Speedup[cell].AllocRatio)
+			}
+			// Sparse direction guard: the ws BFS cell above already runs
+			// the default Auto policy; measure the forced modes on the
+			// same hub-capped fixture so CheckDirection can prove Auto
+			// doesn't regress the sparse workload.
+			cell := Cell("BFS", v, deg)
+			suffix := trimOp(cell, "BFS")
+			pushQ, pullQ := fx.BFSQ, fx.BFSQ
+			pushQ.Dir.Mode = traverse.DirForcePush
+			pullQ.Dir.Mode = traverse.DirForcePull
+			push := runCell(rep, "BFS/push/"+suffix, smoke, func() { fx.WS.BFS(fx.Social, pushQ) })
+			pull := runCell(rep, "BFS/pull/"+suffix, smoke, func() { fx.WS.BFS(fx.Social, pullQ) })
+			rep.Direction[cell] = DirSpeedup{
+				PushVsAuto: ratio(push.NsPerOp, bfsWS.NsPerOp),
+				PullVsAuto: ratio(pull.NsPerOp, bfsWS.NsPerOp),
+			}
+			logf("%-24s auto %.0f ns/op | push %.0f ns/op | pull %.0f ns/op (%.2fx push/auto)",
+				cell, bfsWS.NsPerOp, push.NsPerOp, pull.NsPerOp, rep.Direction[cell].PushVsAuto)
+		}
+	}
+
+	// Hub-heavy direction matrix: Auto vs the forced modes on the
+	// uncapped mega-hub fixtures.
+	for _, v := range Sizes {
+		for _, deg := range Degrees {
+			dfx, err := NewDirFixture(v, deg)
+			if err != nil {
+				return nil, err
+			}
+			for _, op := range dfx.Ops() {
+				cell := Cell(op.Name, v, deg)
+				suffix := trimOp(cell, op.Name)
+				byMode := make(map[string]Result, len(DirModes))
+				for _, m := range DirModes {
+					mode := m.Mode
+					byMode[m.Name] = runCell(rep, op.Name+"/"+m.Name+"/"+suffix, smoke,
+						func() { op.Run(mode) })
+				}
+				rep.Direction[cell] = DirSpeedup{
+					PushVsAuto: ratio(byMode["push"].NsPerOp, byMode["auto"].NsPerOp),
+					PullVsAuto: ratio(byMode["pull"].NsPerOp, byMode["auto"].NsPerOp),
+				}
+				logf("%-24s auto %.0f ns/op | push %.0f ns/op | pull %.0f ns/op (%.2fx push/auto)",
+					cell, byMode["auto"].NsPerOp, byMode["push"].NsPerOp, byMode["pull"].NsPerOp,
+					rep.Direction[cell].PushVsAuto)
 			}
 		}
 	}
@@ -213,6 +277,39 @@ func (r *Report) CheckThresholds(minNs, minAllocs float64) error {
 	}
 	if checked == 0 {
 		return fmt.Errorf("travbench: no mid-size BFS cells in report")
+	}
+	return nil
+}
+
+// CheckDirection validates the direction-suite floors on a full report:
+// the densest mid-size hub-heavy BFS cell must show Auto at least
+// minHub times faster than forced push, and every mid-size standard BFS
+// cell must keep Auto within minSparse of forced-push throughput
+// (push-ns/auto-ns >= minSparse). Used by the emitter's -check mode.
+func (r *Report) CheckDirection(minHub, minSparse float64) error {
+	hubCell := Cell("HubBFS", MidSize, Degrees[len(Degrees)-1])
+	hub, ok := r.Direction[hubCell]
+	if !ok {
+		return fmt.Errorf("travbench: %s missing from report", hubCell)
+	}
+	if hub.PushVsAuto < minHub {
+		return fmt.Errorf("travbench: %s auto speedup over push %.2fx below the %.1fx floor",
+			hubCell, hub.PushVsAuto, minHub)
+	}
+	checked := 0
+	for cell, sp := range r.Direction {
+		var v, deg int
+		if n, _ := fmt.Sscanf(cell, "BFS/V=%d/deg=%d", &v, &deg); n != 2 || v != MidSize {
+			continue
+		}
+		checked++
+		if sp.PushVsAuto < minSparse {
+			return fmt.Errorf("travbench: %s auto regresses sparse BFS to %.2fx of push, below the %.2fx floor",
+				cell, sp.PushVsAuto, minSparse)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("travbench: no mid-size sparse direction cells in report")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package traverse
 
 import (
 	"fmt"
+	"math"
 
 	"subtrav/internal/graph"
 )
@@ -97,6 +98,11 @@ type BatchScratch struct {
 	// sssp holds per-slot SSSP maps, grown on demand to the number of
 	// SSSP queries in the largest batch seen.
 	sssp []*ssspSlotMaps
+	// levelPos is the dense frontier view of a pull wave (expanding
+	// vertex → frontier position). Used transiently within one slot's
+	// wave — Run advances slots sequentially — so one map serves every
+	// slot, rebuilt per pull wave by an epoch bump.
+	levelPos graph.VertexMap
 
 	numVertices int
 }
@@ -118,6 +124,7 @@ func (s *BatchScratch) grow(n int) {
 	s.sharedSeen.Grow(n)
 	s.enqMask.Grow(n)
 	s.seenMask.Grow(n)
+	s.levelPos.Grow(n)
 	for _, m := range s.sssp {
 		m.grow(n)
 	}
@@ -152,6 +159,16 @@ type batchRunner struct {
 	depthA, depthB int
 	limitA, limitB int
 	maps           *ssspSlotMaps
+
+	// Direction-optimization state (see direction.go): resolved config,
+	// per-frontier push/pull hysteresis, and Beamer unexplored-edge
+	// counters — int64 so synthetic max-degree graphs can't wrap them.
+	dir          DirectionConfig
+	pulling      bool // BFS
+	pullA, pullB bool // SSSP sides
+	unexplored   int64
+	unexA, unexB int64
+	stats        DirStats
 }
 
 // Batch runs multi-source lockstep traversals. It owns the per-query
@@ -175,6 +192,14 @@ type Batch struct {
 	// Per-slot frontier double-buffers: BFS uses fA/nA as its
 	// current/next frontier; SSSP uses all four (one pair per side).
 	fA, fB, nA, nB [][]graph.VertexID
+
+	// Shared wave scratch for direction-optimized expansion: the
+	// expanding-vertex list and the pull-discovery buffer, reused by
+	// every slot (slots advance sequentially within a wave).
+	expand     []graph.VertexID
+	cands      []pullCand
+	candsOut   []pullCand
+	candCounts []int32
 }
 
 // NewBatch returns a Batch with a private BatchScratch sized for
@@ -223,7 +248,7 @@ func (b *Batch) Run(g *graph.Graph, queries []Query) (results []Result, traces [
 			switch r.q.Op {
 			case OpBFS:
 				if wave == 0 {
-					b.bfsInit(i)
+					b.bfsInit(g, i)
 				}
 				b.bfsWave(g, i)
 			case OpSSSP:
@@ -324,19 +349,27 @@ func (b *Batch) chargeScan(i, acc int, v graph.VertexID, edges int) {
 }
 
 // bfsInit seeds slot i's frontier with its start vertex (the
-// single-source kernel's initial ringPush + enqueued.Put).
-func (b *Batch) bfsInit(i int) {
+// single-source kernel's initial seed + enqueued.Put) and its
+// direction state.
+func (b *Batch) bfsInit(g *graph.Graph, i int) {
 	r := &b.run[i]
 	b.fA[i] = append(b.fA[i][:0], r.q.Start)
 	bit := uint32(1) << uint(i)
 	m, _ := b.scratch.enqMask.Get(r.q.Start)
 	b.scratch.enqMask.Put(r.q.Start, int32(uint32(m)|bit))
 	r.depth = 0
+	r.dir = r.q.Dir.withDefaults()
+	r.unexplored = g.NumSlots() - int64(g.Degree(r.q.Start))
+	r.pulling = false
 }
 
 // bfsWave processes slot i's entire depth-d frontier — the contiguous
 // run of depth-d pops in the single-source kernel — and builds the
-// depth-d+1 frontier.
+// depth-d+1 frontier, top-down or bottom-up per the direction
+// heuristic. Like the single-source kernel, the wave splits into a
+// process pass (touches, predicates, visit cap, scan charges — all
+// the trace-visible work) and an expansion pass that only builds the
+// next frontier, so push and pull waves leave identical traces.
 func (b *Batch) bfsWave(g *graph.Graph, i int) {
 	r := &b.run[i]
 	q := &r.q
@@ -344,6 +377,8 @@ func (b *Batch) bfsWave(g *graph.Graph, i int) {
 	next := b.nA[i][:0]
 	bit := uint32(1) << uint(i)
 
+	exp := b.expand[:0]
+	var mF int64
 	for _, v := range cur {
 		acc := b.touch(g, i, v)
 		if q.VertexPred != nil && !q.VertexPred(g.VertexProps(v)) {
@@ -353,7 +388,7 @@ func (b *Batch) bfsWave(g *graph.Graph, i int) {
 		if q.MaxVisits > 0 && r.visited >= q.MaxVisits {
 			// The single-source kernel breaks out of its pop loop here,
 			// dropping the rest of the queue — so the remainder of this
-			// frontier and the half-built next frontier are dropped too.
+			// frontier and the expansion pass are dropped too.
 			r.done = true
 			break
 		}
@@ -362,17 +397,18 @@ func (b *Batch) bfsWave(g *graph.Graph, i int) {
 		}
 		lo, hi := g.EdgeSlots(v)
 		b.chargeScan(i, acc, v, int(hi-lo))
-		for s := lo; s < hi; s++ {
-			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
-				continue
-			}
-			u := g.TargetAt(s)
-			m, _ := b.scratch.enqMask.Get(u)
-			if uint32(m)&bit != 0 {
-				continue
-			}
-			b.scratch.enqMask.Put(u, int32(uint32(m)|bit))
-			next = append(next, u)
+		exp = append(exp, v)
+		mF += hi - lo
+	}
+	b.expand = exp
+	if !r.done && len(exp) > 0 {
+		pull := r.dir.next(r.pulling, mF, r.unexplored, len(exp), g.NumVertices())
+		r.stats.record(pull, r.pulling, r.depth == 0)
+		r.pulling = pull
+		if pull {
+			next = b.bfsPullWave(g, i, exp, next, bit)
+		} else {
+			next = b.bfsPushWave(g, i, exp, next, bit)
 		}
 	}
 	b.fA[i], b.nA[i] = next, cur
@@ -383,6 +419,83 @@ func (b *Batch) bfsWave(g *graph.Graph, i int) {
 	if r.done {
 		r.result = Result{Visited: r.visited}
 	}
+}
+
+// bfsPushWave is Workspace.bfsPush with the per-query enqueued set
+// packed as bit i of the shared mask map.
+//
+//vet:hotpath
+func (b *Batch) bfsPushWave(g *graph.Graph, i int, exp, next []graph.VertexID, bit uint32) []graph.VertexID {
+	r := &b.run[i]
+	q := &r.q
+	for _, v := range exp {
+		lo, hi := g.EdgeSlots(v)
+		for s := lo; s < hi; s++ {
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(s))) {
+				continue
+			}
+			u := g.TargetAt(s)
+			m, _ := b.scratch.enqMask.Get(u)
+			if uint32(m)&bit != 0 {
+				continue
+			}
+			b.scratch.enqMask.Put(u, int32(uint32(m)|bit))
+			r.unexplored -= int64(g.Degree(u))
+			next = append(next, u)
+		}
+	}
+	return next
+}
+
+// bfsPullWave is Workspace.bfsPull against the bitmask enqueued set:
+// scan vertices whose slot-i bit is clear, keep the minimum (frontier
+// position, forward slot) qualifying in-edge, and sort discoveries
+// back into push order (see direction.go).
+//
+//vet:hotpath
+func (b *Batch) bfsPullWave(g *graph.Graph, i int, exp, next []graph.VertexID, bit uint32) []graph.VertexID {
+	r := &b.run[i]
+	q := &r.q
+	in := g.In()
+	pos := &b.scratch.levelPos
+	pos.Clear()
+	for j, v := range exp {
+		pos.Put(v, int32(j))
+	}
+	cands := b.cands[:0]
+	n := graph.VertexID(g.NumVertices())
+	for u := graph.VertexID(0); u < n; u++ {
+		if m, _ := b.scratch.enqMask.Get(u); uint32(m)&bit != 0 {
+			continue
+		}
+		lo, hi := in.Edges(u)
+		best := uint64(math.MaxUint64)
+		for p := lo; p < hi; p++ {
+			j, ok := pos.Get(in.Sources[p])
+			if !ok {
+				continue
+			}
+			key := uint64(j)<<32 | uint64(in.FwdSlot[p])
+			if key >= best {
+				continue
+			}
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(int64(in.FwdSlot[p])))) {
+				continue
+			}
+			best = key
+		}
+		if best != math.MaxUint64 {
+			cands = append(cands, pullCand{key: best, u: u})
+		}
+	}
+	b.cands = cands
+	for _, c := range orderPullCands(cands, len(exp), &b.candsOut, &b.candCounts) {
+		m, _ := b.scratch.enqMask.Get(c.u)
+		b.scratch.enqMask.Put(c.u, int32(uint32(m)|bit))
+		r.unexplored -= int64(g.Degree(c.u))
+		next = append(next, c.u)
+	}
+	return next
 }
 
 // ssspInit performs the single-source kernel's setup: the Start==Target
@@ -408,6 +521,10 @@ func (b *Batch) ssspInit(g *graph.Graph, i int) {
 	r.limitA = (q.Depth + 1) / 2 // ceil(δ/2)
 	r.limitB = q.Depth / 2       // floor(δ/2); combined = δ
 	r.depthA, r.depthB = 0, 0
+	r.dir = q.Dir.withDefaults()
+	r.unexA = g.NumSlots() - int64(g.Degree(q.Start))
+	r.unexB = g.NumSlots() - int64(g.Degree(q.Target))
+	r.pullA, r.pullB = false, false
 }
 
 // ssspWave runs one iteration of the single-source kernel's main loop
@@ -426,11 +543,35 @@ func (b *Batch) ssspWave(g *graph.Graph, i int) {
 	expandA := r.depthA < r.limitA && len(fA) > 0 &&
 		(r.depthB >= r.limitB || len(fB) == 0 || len(fA) <= len(fB))
 	if expandA {
-		out := b.ssspExpandBatch(g, i, fA, b.nA[i][:0], &m.distA, &m.accA, &m.distB, r.depthA)
+		var mF int64
+		if r.dir.Mode == DirAuto && !r.pullA {
+			mF = frontierEdges(g, fA)
+		}
+		pull := r.dir.next(r.pullA, mF, r.unexA, len(fA), g.NumVertices())
+		r.stats.record(pull, r.pullA, r.depthA == 0)
+		r.pullA = pull
+		var out []graph.VertexID
+		if pull {
+			out = b.ssspExpandBatchPull(g, i, fA, b.nA[i][:0], &m.distA, &m.accA, &m.distB, r.depthA, &r.unexA)
+		} else {
+			out = b.ssspExpandBatch(g, i, fA, b.nA[i][:0], &m.distA, &m.accA, &m.distB, r.depthA, &r.unexA)
+		}
 		b.fA[i], b.nA[i] = out, fA
 		r.depthA++
 	} else {
-		out := b.ssspExpandBatch(g, i, fB, b.nB[i][:0], &m.distB, &m.accB, &m.distA, r.depthB)
+		var mF int64
+		if r.dir.Mode == DirAuto && !r.pullB {
+			mF = frontierEdges(g, fB)
+		}
+		pull := r.dir.next(r.pullB, mF, r.unexB, len(fB), g.NumVertices())
+		r.stats.record(pull, r.pullB, r.depthB == 0)
+		r.pullB = pull
+		var out []graph.VertexID
+		if pull {
+			out = b.ssspExpandBatchPull(g, i, fB, b.nB[i][:0], &m.distB, &m.accB, &m.distA, r.depthB, &r.unexB)
+		} else {
+			out = b.ssspExpandBatch(g, i, fB, b.nB[i][:0], &m.distB, &m.accB, &m.distA, r.depthB, &r.unexB)
+		}
 		b.fB[i], b.nB[i] = out, fB
 		r.depthB++
 	}
@@ -453,8 +594,10 @@ func (b *Batch) ssspFinish(i int) {
 
 // ssspExpandBatch is ssspExpand with the touches and scan charges
 // routed through the batch's dual (per-query + shared) traces.
+//
+//vet:hotpath
 func (b *Batch) ssspExpandBatch(g *graph.Graph, i int, frontier, next []graph.VertexID,
-	mine, accIdx, other *graph.VertexMap, depth int) []graph.VertexID {
+	mine, accIdx, other *graph.VertexMap, depth int, unexplored *int64) []graph.VertexID {
 	r := &b.run[i]
 	q := &r.q
 	st := &r.st
@@ -476,6 +619,7 @@ func (b *Batch) ssspExpandBatch(g *graph.Graph, i int, frontier, next []graph.Ve
 			mine.Put(u, int32(depth+1))
 			accIdx.Put(u, int32(b.touch(g, i, u)))
 			st.visited++
+			*unexplored -= int64(g.Degree(u))
 			if d, ok := other.Get(u); ok {
 				total := depth + 1 + int(d)
 				if st.best < 0 || total < st.best {
@@ -492,3 +636,86 @@ func (b *Batch) ssspExpandBatch(g *graph.Graph, i int, frontier, next []graph.Ve
 	}
 	return next
 }
+
+// ssspExpandBatchPull is Workspace.ssspExpandPull routed through the
+// batch's dual traces: a discovery pass over this side's unlabeled
+// vertices, a counting scatter back into top-down order, then an
+// emission pass replaying ssspExpandBatch exactly (scan charges,
+// labeling, meet checks, the visit cap).
+//
+//vet:hotpath
+func (b *Batch) ssspExpandBatchPull(g *graph.Graph, i int, frontier, next []graph.VertexID,
+	mine, accIdx, other *graph.VertexMap, depth int, unexplored *int64) []graph.VertexID {
+	r := &b.run[i]
+	q := &r.q
+	st := &r.st
+	in := g.In()
+	pos := &b.scratch.levelPos
+	pos.Clear()
+	for j, v := range frontier {
+		pos.Put(v, int32(j))
+	}
+	cands := b.cands[:0]
+	n := graph.VertexID(g.NumVertices())
+	for u := graph.VertexID(0); u < n; u++ {
+		if mine.Contains(u) {
+			continue
+		}
+		lo, hi := in.Edges(u)
+		best := uint64(math.MaxUint64)
+		for p := lo; p < hi; p++ {
+			j, ok := pos.Get(in.Sources[p])
+			if !ok {
+				continue
+			}
+			key := uint64(j)<<32 | uint64(in.FwdSlot[p])
+			if key >= best {
+				continue
+			}
+			if q.EdgePred != nil && !q.EdgePred(g.EdgeProps(g.LogicalEdge(int64(in.FwdSlot[p])))) {
+				continue
+			}
+			best = key
+		}
+		if best != math.MaxUint64 {
+			cands = append(cands, pullCand{key: best, u: u})
+		}
+	}
+	b.cands = cands
+	cands = orderPullCands(cands, len(frontier), &b.candsOut, &b.candCounts)
+
+	ci := 0
+	for j, v := range frontier {
+		if st.capped {
+			break
+		}
+		lo, hi := g.EdgeSlots(v)
+		vAcc, _ := accIdx.Get(v)
+		b.chargeScan(i, int(vAcc), v, int(hi-lo))
+		for ci < len(cands) && int(cands[ci].key>>32) == j {
+			u := cands[ci].u
+			ci++
+			mine.Put(u, int32(depth+1))
+			accIdx.Put(u, int32(b.touch(g, i, u)))
+			st.visited++
+			*unexplored -= int64(g.Degree(u))
+			if d, ok := other.Get(u); ok {
+				total := depth + 1 + int(d)
+				if st.best < 0 || total < st.best {
+					st.best = total
+				}
+				continue
+			}
+			if q.MaxVisits > 0 && st.visited >= q.MaxVisits {
+				st.capped = true
+				break
+			}
+			next = append(next, u)
+		}
+	}
+	return next
+}
+
+// DirStats returns slot i's push/pull direction counters from the most
+// recent Run. Valid until the next Run.
+func (b *Batch) DirStats(i int) DirStats { return b.run[i].stats }

@@ -23,6 +23,7 @@ package traverse
 
 import (
 	"fmt"
+	"math"
 
 	"subtrav/internal/graph"
 )
@@ -92,6 +93,14 @@ type Query struct {
 	RestartProb float64
 	TopK        int
 	Seed        uint64
+
+	// Dir tunes push/pull direction switching for OpBFS and OpSSSP
+	// (see DirectionConfig). The zero value is Auto with the default
+	// Beamer thresholds. Results and traces are identical in every
+	// mode; only the work done to produce them changes. Ignored by the
+	// other ops and by the reference kernels (which are the push-only
+	// executable spec).
+	Dir DirectionConfig
 }
 
 // Validate checks query parameters against a graph.
@@ -125,7 +134,7 @@ func (q Query) Validate(g *graph.Graph) error {
 	default:
 		return fmt.Errorf("traverse: unknown op %d", q.Op)
 	}
-	return nil
+	return q.Dir.validate()
 }
 
 // Access is one vertex-record touch. A record is the vertex header,
@@ -160,9 +169,18 @@ func (t *Trace) touchVertex(g *graph.Graph, v graph.VertexID, seen map[graph.Ver
 	return len(t.Accesses) - 1
 }
 
-// chargeScan attributes scanned-edge CPU work to access idx.
+// chargeScan attributes scanned-edge CPU work to access idx. The add
+// saturates at MaxInt32: a lockstep batch aggregates up to MaxBatch
+// queries' scans of one record into a single shared access, which can
+// exceed int32 on synthetic max-degree graphs. Both kernel generations
+// charge through this method, so saturation cannot break differential
+// equality.
 func (t *Trace) chargeScan(idx, edges int) {
-	t.Accesses[idx].ScannedEdges += int32(edges)
+	sum := int64(t.Accesses[idx].ScannedEdges) + int64(edges)
+	if sum > math.MaxInt32 {
+		sum = math.MaxInt32
+	}
+	t.Accesses[idx].ScannedEdges = int32(sum)
 }
 
 // TotalBytes sums the payload bytes across all accesses (with

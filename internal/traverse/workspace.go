@@ -28,6 +28,10 @@ type Scratch struct {
 	// record access.
 	accA graph.VertexMap
 	accB graph.VertexMap
+	// posMap is the dense frontier view of a pull wave: expanding
+	// vertex → position in the wave's frontier order. Rebuilt (epoch
+	// bump + repopulate) per pull wave by BFS and SSSP.
+	posMap graph.VertexMap
 }
 
 // NewScratch returns a Scratch sized for graphs of numVertices.
@@ -44,6 +48,7 @@ func (s *Scratch) grow(n int) {
 	s.mapB.Grow(n)
 	s.accA.Grow(n)
 	s.accB.Grow(n)
+	s.posMap.Grow(n)
 }
 
 func (s *Scratch) reset() {
@@ -52,18 +57,12 @@ func (s *Scratch) reset() {
 	s.mapB.Clear()
 	s.accA.Clear()
 	s.accB.Clear()
-}
-
-// bfsItem is one ring-buffer frontier entry.
-type bfsItem struct {
-	v     graph.VertexID
-	depth int32
+	s.posMap.Clear()
 }
 
 // Workspace is the reusable per-execution state of the traversal
-// kernels: a dense Scratch, a ring-buffer BFS frontier, reusable SSSP
-// frontier slices, insertion-ordered side lists, and pooled Trace and
-// Result scratch. A steady-state traversal through a warmed Workspace
+// kernels: a dense Scratch, reusable BFS/SSSP frontier slices,
+// insertion-ordered side lists, and pooled Trace and Result scratch. A steady-state traversal through a warmed Workspace
 // performs zero heap allocations.
 //
 // Ownership contract: the *Trace returned by a Workspace kernel, and
@@ -78,16 +77,27 @@ type bfsItem struct {
 type Workspace struct {
 	scratch *Scratch
 
-	// ring is the BFS frontier: a power-of-two ring buffer replacing
-	// the queue[1:] shift (which kept the backing array's dead head
-	// alive and re-allocated on every wrap of append).
-	ring     []bfsItem
-	ringHead int
-	ringLen  int
-
-	// SSSP frontier double-buffers, one pair per search side.
+	// Frontier double-buffers: the level-synchronous BFS uses the A
+	// pair as its current/next frontier; SSSP uses both pairs (one per
+	// search side).
 	frontA, nextA []graph.VertexID
 	frontB, nextB []graph.VertexID
+
+	// expanders is the wave's expanding-vertex list (frontier members
+	// that passed predicates, the visit cap, and the depth bound), in
+	// pop order; the frontier the expansion pass — push or pull —
+	// actually walks.
+	expanders []graph.VertexID
+
+	// cands collects a pull wave's bottom-up discoveries; candsOut and
+	// candCounts are the counting-scatter scratch that reorders them
+	// into push discovery order (see orderPullCands).
+	cands      []pullCand
+	candsOut   []pullCand
+	candCounts []int32
+
+	// dirStats counts the last execution's direction decisions.
+	dirStats DirStats
 
 	// orderA/orderB are insertion-ordered compact side lists: the
 	// deterministic iteration substrate that replaces map-range order
@@ -128,10 +138,16 @@ func (ws *Workspace) begin(g *graph.Graph) {
 	ws.scratch.reset()
 	ws.trace.Accesses = ws.trace.Accesses[:0]
 	ws.trace.Touched = ws.trace.Touched[:0]
-	ws.ringHead, ws.ringLen = 0, 0
 	ws.orderA = ws.orderA[:0]
 	ws.orderB = ws.orderB[:0]
+	ws.expanders = ws.expanders[:0]
+	ws.dirStats = DirStats{}
 }
+
+// DirStats returns the push/pull direction counters of the most recent
+// kernel execution (zero for ops without direction choice). Valid
+// until the next kernel call.
+func (ws *Workspace) DirStats() DirStats { return ws.dirStats }
 
 // touch appends a vertex record access to the pooled trace,
 // deduplicating Touched through the dense seen-set, and returns the
@@ -145,37 +161,6 @@ func (ws *Workspace) touch(g *graph.Graph, v graph.VertexID) int {
 		t.Touched = append(t.Touched, v)
 	}
 	return len(t.Accesses) - 1
-}
-
-// ringPush appends to the BFS frontier, growing the ring on demand.
-//
-//vet:hotpath
-func (ws *Workspace) ringPush(v graph.VertexID, depth int32) {
-	if ws.ringLen == len(ws.ring) {
-		n := 2 * len(ws.ring)
-		if n < 64 {
-			n = 64
-		}
-		//lint:allow allocfree doubling growth amortizes to O(1) per push and stops once the ring reaches the frontier high-water mark
-		grown := make([]bfsItem, n)
-		for i := 0; i < ws.ringLen; i++ {
-			grown[i] = ws.ring[(ws.ringHead+i)&(len(ws.ring)-1)]
-		}
-		ws.ring = grown
-		ws.ringHead = 0
-	}
-	ws.ring[(ws.ringHead+ws.ringLen)&(len(ws.ring)-1)] = bfsItem{v, depth}
-	ws.ringLen++
-}
-
-// ringPop removes and returns the frontier head (FIFO).
-//
-//vet:hotpath
-func (ws *Workspace) ringPop() bfsItem {
-	it := ws.ring[ws.ringHead]
-	ws.ringHead = (ws.ringHead + 1) & (len(ws.ring) - 1)
-	ws.ringLen--
-	return it
 }
 
 // recSorter orders recommendations best-first, product ID tie-break —
